@@ -1,0 +1,53 @@
+//! Microbenchmarks of the communication stack (fabric + UCX protocols),
+//! driven through the full machine so staging copies hit the DMA model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gaat_bench::ablation::channel_vs_gpu_messaging;
+use gaat_net::{Fabric, NetMsg, NetParams, NodeId};
+use gaat_sim::{SimDuration, SimRng, SimTime};
+
+fn bench_fabric_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comm/fabric_commit");
+    for &msgs in &[1_000usize, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(msgs), &msgs, |b, &msgs| {
+            b.iter(|| {
+                let mut f = Fabric::new(64, NetParams::default(), SimRng::new(1));
+                let mut last = SimTime::ZERO;
+                for i in 0..msgs {
+                    let m = NetMsg {
+                        src: NodeId(i % 64),
+                        dst: NodeId((i * 7 + 1) % 64),
+                        bytes: 4096,
+                        extra_latency: SimDuration::ZERO,
+                        token: i as u64,
+                    };
+                    last = f.commit(SimTime::from_ns(i as u64 * 10), &m);
+                }
+                last
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Full protocol round trips through the machine: the Channel API path
+/// (GPUDirect rendezvous for a 96 KiB device buffer).
+fn bench_channel_pingpong(c: &mut Criterion) {
+    c.bench_function("comm/channel_pingpong_96k_x20", |b| {
+        b.iter(|| channel_vs_gpu_messaging(96 << 10, 20).0)
+    });
+}
+
+fn bench_gpu_messaging_pingpong(c: &mut Criterion) {
+    c.bench_function("comm/gpu_messaging_pingpong_96k_x20", |b| {
+        b.iter(|| channel_vs_gpu_messaging(96 << 10, 20).1)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fabric_commit, bench_channel_pingpong, bench_gpu_messaging_pingpong
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Microbenchmarks of the discrete-event engine: scheduling throughput,
+//! cascading events, and cancellation overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gaat_sim::{Sim, SimDuration, SimTime};
+
+fn bench_schedule_and_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/schedule_drain");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim: Sim<u64> = Sim::new();
+                let mut w = 0u64;
+                for i in 0..n {
+                    sim.at(SimTime::from_ns((i % 97) as u64), |w: &mut u64, _| *w += 1);
+                }
+                sim.run(&mut w);
+                assert_eq!(w, n as u64);
+                w
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cascade(c: &mut Criterion) {
+    c.bench_function("engine/cascade_chain_100k", |b| {
+        b.iter(|| {
+            fn hop(w: &mut u64, sim: &mut Sim<u64>) {
+                *w += 1;
+                if *w < 100_000 {
+                    sim.after(SimDuration::from_ns(3), hop);
+                }
+            }
+            let mut sim: Sim<u64> = Sim::new();
+            let mut w = 0u64;
+            sim.soon(hop);
+            sim.run(&mut w);
+            w
+        })
+    });
+}
+
+fn bench_cancellation(c: &mut Criterion) {
+    c.bench_function("engine/cancel_half_of_50k", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u64> = Sim::new();
+            let mut w = 0u64;
+            let ids: Vec<_> = (0..50_000u64)
+                .map(|i| sim.at(SimTime::from_ns(i), |w: &mut u64, _| *w += 1))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                sim.cancel(*id);
+            }
+            sim.run(&mut w);
+            assert_eq!(w, 25_000);
+            w
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_schedule_and_drain, bench_cascade, bench_cancellation
+}
+criterion_main!(benches);

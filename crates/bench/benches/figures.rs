@@ -1,0 +1,38 @@
+//! `cargo bench` entry points that exercise every figure of the paper at
+//! quick effort — one benchmark per figure, so the full evaluation
+//! pipeline stays green. The real (paper-scale) regeneration is
+//! `cargo run --release -p gaat-bench --bin figures -- --effort full`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gaat_bench::{fig6, fig7a, fig7b, fig7c, fig8, fig9, Effort};
+
+fn quick() -> Effort {
+    let mut e = Effort::quick();
+    e.max_nodes = 4;
+    e.iters = 4;
+    e.warmup = 1;
+    e
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let e = quick();
+    c.bench_function("figures/fig6_quick", |b| b.iter(|| fig6(&e).len()));
+    c.bench_function("figures/fig7a_quick", |b| b.iter(|| fig7a(&e).len()));
+    c.bench_function("figures/fig7b_quick", |b| b.iter(|| fig7b(&e).len()));
+    c.bench_function("figures/fig7c_quick", |b| {
+        // strong scaling starts at 8 nodes; allow it
+        let mut e = quick();
+        e.max_nodes = 8;
+        b.iter(|| fig7c(&e).len())
+    });
+    c.bench_function("figures/fig8_quick", |b| b.iter(|| fig8(&e).len()));
+    c.bench_function("figures/fig9_quick", |b| b.iter(|| fig9(&e).len()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_figures
+}
+criterion_main!(benches);

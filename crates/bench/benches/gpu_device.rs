@@ -1,0 +1,93 @@
+//! Microbenchmarks of the simulated GPU device: stream-op throughput,
+//! processor-sharing accounting under contention, and graph execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gaat_gpu::{
+    Device, DeviceId, GpuTimingModel, GraphBuilder, KernelSpec, NodeIndex, Op,
+};
+use gaat_sim::{SimDuration, SimTime};
+
+fn drain(d: &mut Device) -> SimTime {
+    let mut now = SimTime::ZERO;
+    loop {
+        match d.advance(now) {
+            Some(w) => now = w,
+            None => return now,
+        }
+    }
+}
+
+fn bench_stream_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu/stream_kernels");
+    for &n in &[100usize, 1_000, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut d = Device::new(DeviceId(0), GpuTimingModel::default());
+                let s = d.create_stream(0);
+                for _ in 0..n {
+                    d.enqueue(s, Op::kernel(KernelSpec::phantom("k", SimDuration::from_us(2))));
+                }
+                drain(&mut d)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_concurrent_streams(c: &mut Criterion) {
+    c.bench_function("gpu/64_streams_processor_sharing", |b| {
+        b.iter(|| {
+            let mut d = Device::new(DeviceId(0), GpuTimingModel::default());
+            let streams: Vec<_> = (0..64).map(|i| d.create_stream((i % 3) as usize)).collect();
+            for &s in &streams {
+                for _ in 0..20 {
+                    d.enqueue(s, Op::kernel(KernelSpec::phantom("k", SimDuration::from_us(5))));
+                }
+            }
+            drain(&mut d)
+        })
+    });
+}
+
+fn bench_graph_vs_stream(c: &mut Criterion) {
+    let chain = 64usize;
+    let mut g = c.benchmark_group("gpu/chain64");
+    g.bench_function("stream", |b| {
+        b.iter(|| {
+            let mut d = Device::new(DeviceId(0), GpuTimingModel::default());
+            let s = d.create_stream(0);
+            for _ in 0..chain {
+                d.enqueue(s, Op::kernel(KernelSpec::phantom("k", SimDuration::from_us(1))));
+            }
+            drain(&mut d)
+        })
+    });
+    g.bench_function("graph", |b| {
+        b.iter(|| {
+            let mut d = Device::new(DeviceId(0), GpuTimingModel::default());
+            let s = d.create_stream(0);
+            let mut builder = GraphBuilder::new();
+            let mut prev: Option<NodeIndex> = None;
+            for _ in 0..chain {
+                let deps: Vec<_> = prev.into_iter().collect();
+                prev = Some(builder.kernel(
+                    KernelSpec::phantom("k", SimDuration::from_us(1)),
+                    0,
+                    &deps,
+                ));
+            }
+            let graph = d.register_graph(builder.build());
+            d.enqueue(s, Op::graph(graph));
+            drain(&mut d)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_stream_kernels, bench_concurrent_streams, bench_graph_vs_stream
+}
+criterion_main!(benches);

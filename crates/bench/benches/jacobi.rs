@@ -1,0 +1,82 @@
+//! End-to-end Jacobi3D runs of all four versions (small phantom
+//! configurations) — wall-clock cost of simulating each variant, and a
+//! functional-mode run to track the overhead of real numerics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gaat_jacobi3d::{run_charm, run_mpi, CommMode, Dims, Fusion, JacobiConfig};
+use gaat_rt::MachineConfig;
+use gaat_sweep3d::{run_sweep, SweepConfig};
+
+fn cfg(nodes: usize, comm: CommMode) -> JacobiConfig {
+    let mut c = JacobiConfig::new(MachineConfig::summit(nodes), Dims::cube(192));
+    c.comm = comm;
+    c.iters = 10;
+    c.warmup = 2;
+    c
+}
+
+fn bench_variants(c: &mut Criterion) {
+    c.bench_function("jacobi/mpi_h_2nodes", |b| {
+        b.iter(|| run_mpi(cfg(2, CommMode::HostStaging)).time_per_iter)
+    });
+    c.bench_function("jacobi/mpi_d_2nodes", |b| {
+        b.iter(|| run_mpi(cfg(2, CommMode::GpuAware)).time_per_iter)
+    });
+    c.bench_function("jacobi/charm_h_odf4_2nodes", |b| {
+        b.iter(|| {
+            let mut c = cfg(2, CommMode::HostStaging);
+            c.odf = 4;
+            run_charm(c).time_per_iter
+        })
+    });
+    c.bench_function("jacobi/charm_d_odf4_2nodes", |b| {
+        b.iter(|| {
+            let mut c = cfg(2, CommMode::GpuAware);
+            c.odf = 4;
+            run_charm(c).time_per_iter
+        })
+    });
+    c.bench_function("jacobi/charm_d_fusion_c_graphs_2nodes", |b| {
+        b.iter(|| {
+            let mut c = cfg(2, CommMode::GpuAware);
+            c.odf = 4;
+            c.fusion = Fusion::C;
+            c.graphs = true;
+            run_charm(c).time_per_iter
+        })
+    });
+}
+
+fn bench_functional_mode(c: &mut Criterion) {
+    c.bench_function("jacobi/charm_d_functional_24cube", |b| {
+        b.iter(|| {
+            let mut c = JacobiConfig::new(MachineConfig::validation(2, 2), Dims::cube(24));
+            c.comm = CommMode::GpuAware;
+            c.odf = 2;
+            c.iters = 5;
+            c.warmup = 1;
+            let r = run_charm(c);
+            r.checksum.expect("real buffers")
+        })
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    c.bench_function("sweep/charm_d_odf4_2nodes", |b| {
+        b.iter(|| {
+            let mut cfg = SweepConfig::new(MachineConfig::summit(2), Dims::cube(192));
+            cfg.odf = 4;
+            cfg.sweeps = 8;
+            cfg.warmup = 2;
+            run_sweep(cfg).time_per_sweep
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_variants, bench_functional_mode, bench_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! cargo run --release -p gaat-bench --bin figures -- [--fig all|6|7a|7b|7c|8|9|ablations]
+//!                                                    [--effort quick|standard|full]
+//!                                                    [--out results]
+//! ```
+//!
+//! Each figure is written as `results/figN.csv` and printed as an ASCII
+//! table; Fig. 9 additionally prints the graph-execution speedups. The
+//! `full` effort matches the paper's scale (512 nodes, 100 iterations,
+//! 3 seeds) and takes a long time; `standard` (default) reproduces every
+//! qualitative claim in minutes.
+
+use std::path::PathBuf;
+
+use gaat_bench::harness::{print_table, write_csv};
+use gaat_bench::{ablation, best_per_point, fig6, fig7a, fig7b, fig7c, fig8, fig9, Effort};
+
+fn main() {
+    let mut fig = "all".to_string();
+    let mut effort = Effort::standard();
+    let mut effort_name = "standard".to_string();
+    let mut out = PathBuf::from("results");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" => {
+                fig = args.get(i + 1).expect("--fig needs a value").clone();
+                i += 2;
+            }
+            "--effort" => {
+                effort_name = args.get(i + 1).expect("--effort needs a value").clone();
+                effort = match effort_name.as_str() {
+                    "quick" => Effort::quick(),
+                    "standard" => Effort::standard(),
+                    "full" => Effort::full(),
+                    other => panic!("unknown effort {other:?}"),
+                };
+                i += 2;
+            }
+            "--out" => {
+                out = PathBuf::from(args.get(i + 1).expect("--out needs a value"));
+                i += 2;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    println!(
+        "effort={effort_name}: iters={} warmup={} max_nodes={} odfs={:?} seeds={:?}",
+        effort.iters, effort.warmup, effort.max_nodes, effort.odfs, effort.seeds
+    );
+    println!(
+        "machine model: {}",
+        serde_json::to_string(&gaat_rt::MachineConfig::summit(1)).expect("serializable")
+    );
+
+    let want = |name: &str| fig == "all" || fig == name || (name.starts_with(&fig) && fig == "7");
+
+    if want("6") {
+        let rows = fig6(&effort);
+        write_csv(&out.join("fig6.csv"), &rows).expect("write fig6.csv");
+        print_table(
+            "Fig 6 — Charm-H host-staging, before vs after optimizations (6a weak 1536^3/node, 6b strong 3072^3)",
+            &rows,
+        );
+    }
+    if want("7a") {
+        let rows = fig7a(&effort);
+        write_csv(&out.join("fig7a.csv"), &rows).expect("write fig7a.csv");
+        print_table(
+            "Fig 7a — weak scaling, 1536^3 per node (all ODFs)",
+            &rows,
+        );
+        print_table("Fig 7a — best ODF per point", &best_per_point(&rows));
+    }
+    if want("7b") {
+        let rows = fig7b(&effort);
+        write_csv(&out.join("fig7b.csv"), &rows).expect("write fig7b.csv");
+        print_table("Fig 7b — weak scaling, 192^3 per node (all ODFs)", &rows);
+        print_table("Fig 7b — best ODF per point", &best_per_point(&rows));
+    }
+    if want("7c") {
+        let rows = fig7c(&effort);
+        write_csv(&out.join("fig7c.csv"), &rows).expect("write fig7c.csv");
+        print_table("Fig 7c — strong scaling, 3072^3 global (all ODFs)", &rows);
+        print_table("Fig 7c — best ODF per point", &best_per_point(&rows));
+    }
+    if want("8") {
+        let rows = fig8(&effort);
+        write_csv(&out.join("fig8.csv"), &rows).expect("write fig8.csv");
+        print_table("Fig 8 — kernel fusion on Charm-D, strong 768^3", &rows);
+    }
+    if want("9") {
+        let rows = fig9(&effort);
+        write_csv(&out.join("fig9.csv"), &rows).expect("write fig9.csv");
+        print_table("Fig 9 — graph execution on Charm-D, strong 768^3", &rows);
+        println!("\n=== Fig 9 — speedup from graphs (baseline / graphs) ===");
+        for (series, nodes, speedup) in gaat_bench::figures::fig9_speedups(&rows) {
+            println!("  {series:<22} {nodes:>4} nodes: {speedup:.2}x");
+        }
+    }
+    if want("ablations") {
+        let mut rows = Vec::new();
+        rows.extend(ablation::comm_priority(&effort, 8.min(effort.max_nodes)));
+        rows.extend(ablation::pipeline_threshold_sweep(&effort));
+        rows.extend(ablation::ampi_virtualization(&effort, 4.min(effort.max_nodes)));
+        write_csv(&out.join("ablations.csv"), &rows).expect("write ablations.csv");
+        print_table("Ablations — stream priority & protocol threshold", &rows);
+
+        let (ch, gm) = ablation::channel_vs_gpu_messaging(96 << 10, 20);
+        println!("\n=== Ablation — Channel API vs GPU Messaging API (96 KiB device ping-pong) ===");
+        println!("  Channel API       : {ch:.1} us/hop");
+        println!("  GPU Messaging API : {gm:.1} us/hop   ({:.2}x slower)", gm / ch);
+
+        let (sync_us, async_us) = ablation::sync_vs_async_completion(4, 16, 50);
+        println!("\n=== Ablation — Fig 4: completion detection (4 chares on one PE) ===");
+        println!("  synchronous  : {sync_us:.1} us makespan");
+        println!("  asynchronous : {async_us:.1} us makespan ({:.2}x faster)", sync_us / async_us);
+    }
+    println!("\nCSV written under {}", out.display());
+}

@@ -1,0 +1,159 @@
+//! Quick calibration probe: prints time-per-iteration for the paper's
+//! key configurations at small node counts. A development tool for
+//! checking the performance model's shape; the real figure harness is in
+//! `figures.rs`.
+
+use gaat_jacobi3d::{run_charm, run_mpi, CommMode, Dims, Fusion, JacobiConfig, SyncMode};
+use gaat_rt::MachineConfig;
+
+fn cfg(nodes: usize, global: Dims) -> JacobiConfig {
+    let mut c = JacobiConfig::new(MachineConfig::summit(nodes), global);
+    c.iters = 20;
+    c.warmup = 3;
+    c
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+
+    if which == "all" || which == "7b" {
+        println!("== Fig 7b shape: weak scaling 192^3/node, 1..8 nodes ==");
+        for nodes in [1usize, 2, 4, 8] {
+            let n = 192.0_f64 * (nodes as f64).cbrt();
+            let global = Dims::cube(n.round() as usize);
+            for (name, comm, odf) in [
+                ("MPI-H ", CommMode::HostStaging, 0),
+                ("MPI-D ", CommMode::GpuAware, 0),
+                ("Charm-H o1", CommMode::HostStaging, 1),
+                ("Charm-H o4", CommMode::HostStaging, 4),
+                ("Charm-D o1", CommMode::GpuAware, 1),
+                ("Charm-D o4", CommMode::GpuAware, 4),
+            ] {
+                let mut c = cfg(nodes, global);
+                c.comm = comm;
+                let r = if odf == 0 {
+                    run_mpi(c)
+                } else {
+                    c.odf = odf;
+                    run_charm(c)
+                };
+                println!(
+                    "  n={nodes:3} {name}: {:9.1} us/iter  (cpu {:.2})",
+                    r.time_per_iter.as_micros_f64(),
+                    r.cpu_utilization
+                );
+            }
+        }
+    }
+
+    if which == "all" || which == "7a" {
+        println!("== Fig 7a shape: weak scaling 1536^3/node, 1..4 nodes ==");
+        for nodes in [1usize, 2, 4] {
+            let n = 1536.0_f64 * (nodes as f64).cbrt();
+            let global = Dims::cube(n.round() as usize);
+            for (name, comm, odf) in [
+                ("MPI-H ", CommMode::HostStaging, 0),
+                ("MPI-D ", CommMode::GpuAware, 0),
+                ("Charm-H o4", CommMode::HostStaging, 4),
+                ("Charm-D o4", CommMode::GpuAware, 4),
+            ] {
+                let mut c = cfg(nodes, global);
+                c.comm = comm;
+                let r = if odf == 0 {
+                    run_mpi(c)
+                } else {
+                    c.odf = odf;
+                    run_charm(c)
+                };
+                println!(
+                    "  n={nodes:3} {name}: {:9.1} us/iter",
+                    r.time_per_iter.as_micros_f64()
+                );
+            }
+        }
+    }
+
+    if which == "all" || which == "6" {
+        println!("== Fig 6 shape: Charm-H original vs optimized, 1536^3/node ==");
+        for nodes in [1usize, 4] {
+            let n = 1536.0_f64 * (nodes as f64).cbrt();
+            let global = Dims::cube(n.round() as usize);
+            for (name, sync) in [("orig", SyncMode::Original), ("opt ", SyncMode::Optimized)] {
+                let mut c = cfg(nodes, global);
+                c.comm = CommMode::HostStaging;
+                c.odf = 4;
+                c.sync = sync;
+                let r = run_charm(c);
+                println!(
+                    "  n={nodes:3} {name}: {:9.1} us/iter",
+                    r.time_per_iter.as_micros_f64()
+                );
+            }
+        }
+    }
+
+    if which == "all" || which == "8" {
+        println!("== Fig 8 shape: fusion, 768^3 strong, 8..32 nodes ==");
+        for nodes in [8usize, 16, 32] {
+            for odf in [1usize, 8] {
+                for (name, fusion) in [
+                    ("base", Fusion::None),
+                    ("A   ", Fusion::A),
+                    ("B   ", Fusion::B),
+                    ("C   ", Fusion::C),
+                ] {
+                    let mut c = cfg(nodes, Dims::cube(768));
+                    c.comm = CommMode::GpuAware;
+                    c.odf = odf;
+                    c.fusion = fusion;
+                    let r = run_charm(c);
+                    println!(
+                        "  n={nodes:3} odf={odf} {name}: {:9.1} us/iter",
+                        r.time_per_iter.as_micros_f64()
+                    );
+                }
+            }
+        }
+    }
+
+    if which == "all" || which == "6s" {
+        println!("== Fig 6b shape: Charm-H original vs optimized, strong 768^3 ==");
+        for nodes in [4usize, 8, 16, 32] {
+            for (name, sync) in [("orig", SyncMode::Original), ("opt ", SyncMode::Optimized)] {
+                let mut c = cfg(nodes, Dims::cube(768));
+                c.comm = CommMode::HostStaging;
+                c.odf = 4;
+                c.sync = sync;
+                let r = run_charm(c);
+                println!(
+                    "  n={nodes:3} {name}: {:9.1} us/iter",
+                    r.time_per_iter.as_micros_f64()
+                );
+            }
+        }
+    }
+
+    if which == "all" || which == "9" {
+        println!("== Fig 9 shape: graphs speedup, 768^3, 32 nodes ==");
+        for odf in [1usize, 8] {
+            for fusion in [Fusion::None, Fusion::A, Fusion::B, Fusion::C] {
+                let mut base = cfg(32, Dims::cube(768));
+                base.comm = CommMode::GpuAware;
+                base.odf = odf;
+                base.fusion = fusion;
+                let mut with = base.clone();
+                with.graphs = true;
+                let rb = run_charm(base);
+                let rg = run_charm(with);
+                println!(
+                    "  odf={odf} fusion={fusion:?}: {:9.1} -> {:9.1} us/iter (speedup {:.2}x, cpu {:.2})",
+                    rb.time_per_iter.as_micros_f64(),
+                    rg.time_per_iter.as_micros_f64(),
+                    rb.time_per_iter.as_ns() as f64 / rg.time_per_iter.as_ns() as f64,
+                    rb.cpu_utilization
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Machine and runtime configuration.
+
+use gaat_gpu::GpuTimingModel;
+use gaat_net::NetParams;
+use gaat_sim::SimDuration;
+use gaat_ucx::UcxParams;
+use serde::{Deserialize, Serialize};
+
+/// CPU-side costs of the task runtime (the analogue of Charm++ scheduler
+/// and messaging overheads). These are what make fine-grained
+/// overdecomposition expensive — the effect that bounds the useful ODF in
+/// the paper's Figs. 7–9.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RtCosts {
+    /// Scheduler cost of popping one message and locating its target
+    /// chare.
+    pub sched_per_msg: SimDuration,
+    /// Cost of dispatching into an entry method (unpacking, invoking).
+    pub entry_dispatch: SimDuration,
+    /// CPU cost of a proxy send (marshalling, envelope setup).
+    pub send_overhead: SimDuration,
+    /// CPU cost of a Channel API send/recv call (thin UCX pass-through).
+    pub channel_call: SimDuration,
+    /// Latency of a same-PE message (queue reinsertion, no network).
+    pub local_latency: SimDuration,
+    /// Envelope bytes added to every runtime message on the wire.
+    pub envelope_bytes: u64,
+}
+
+impl Default for RtCosts {
+    fn default() -> Self {
+        RtCosts {
+            sched_per_msg: SimDuration::from_ns(900),
+            entry_dispatch: SimDuration::from_ns(400),
+            send_overhead: SimDuration::from_ns(750),
+            channel_call: SimDuration::from_ns(500),
+            local_latency: SimDuration::from_ns(250),
+            envelope_bytes: 96,
+        }
+    }
+}
+
+/// Full description of the simulated machine: topology, device timing,
+/// fabric, communication-layer and runtime costs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// PEs per node; each PE owns one GPU (the paper's non-SMP
+    /// one-process-per-GPU configuration; 6 on Summit).
+    pub pes_per_node: usize,
+    /// GPU timing model (same for every device).
+    pub gpu: GpuTimingModel,
+    /// Fabric constants.
+    pub net: NetParams,
+    /// Communication-layer constants.
+    pub ucx: UcxParams,
+    /// Runtime CPU costs.
+    pub rt: RtCosts,
+    /// Root RNG seed (a "run" in the paper's three-trial averages).
+    pub seed: u64,
+    /// Allocate real (functional) buffers instead of phantom ones.
+    pub real_buffers: bool,
+    /// Record execution traces (entry spans per PE, kernel/memcpy spans
+    /// per device engine) for Nsight-style analysis. Off by default —
+    /// tracing a 3,072-GPU run would record millions of spans.
+    pub trace: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            nodes: 1,
+            pes_per_node: 6,
+            gpu: GpuTimingModel::default(),
+            net: NetParams::default(),
+            ucx: UcxParams::default(),
+            rt: RtCosts::default(),
+            seed: 1,
+            real_buffers: false,
+            trace: false,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A Summit-like machine of `nodes` nodes (6 GPUs each).
+    pub fn summit(nodes: usize) -> Self {
+        MachineConfig {
+            nodes,
+            ..Default::default()
+        }
+    }
+
+    /// Small functional-validation machine: `nodes` nodes × `pes` PEs with
+    /// real buffers and no jitter (bit-exact numerics).
+    pub fn validation(nodes: usize, pes: usize) -> Self {
+        let mut cfg = MachineConfig {
+            nodes,
+            pes_per_node: pes,
+            real_buffers: true,
+            ..Default::default()
+        };
+        cfg.net.jitter = 0.0;
+        cfg
+    }
+
+    /// Total PE (= GPU = worker) count.
+    pub fn total_pes(&self) -> usize {
+        self.nodes * self.pes_per_node
+    }
+
+    /// Node of a PE.
+    pub fn node_of_pe(&self, pe: usize) -> usize {
+        pe / self.pes_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summit_topology() {
+        let c = MachineConfig::summit(8);
+        assert_eq!(c.total_pes(), 48);
+        assert_eq!(c.node_of_pe(0), 0);
+        assert_eq!(c.node_of_pe(5), 0);
+        assert_eq!(c.node_of_pe(6), 1);
+        assert_eq!(c.node_of_pe(47), 7);
+    }
+
+    #[test]
+    fn validation_config_is_deterministic() {
+        let c = MachineConfig::validation(1, 2);
+        assert!(c.real_buffers);
+        assert_eq!(c.net.jitter, 0.0);
+        assert_eq!(c.total_pes(), 2);
+    }
+}

@@ -1,0 +1,1144 @@
+//! The simulated machine: devices, fabric, communication layer, PEs, and
+//! the chare table — plus the message-driven execution engine.
+//!
+//! Entry methods are ordinary Rust code that runs instantly in wall-clock
+//! time while *charging* simulated CPU time to its PE through [`Ctx`]:
+//! scheduler and dispatch overheads, kernel-launch CPU costs, send
+//! overheads, and any declared compute. Side effects (GPU enqueues,
+//! message sends) take effect at the simulated instant the charging
+//! reaches, so a method that launches 13 kernels occupies its PE for
+//! 13 × `cpu_launch` — the CPU-side overhead that kernel fusion and graph
+//! launch eliminate in the paper's Figs. 8 and 9.
+
+use std::collections::HashMap;
+
+use gaat_gpu::{CompletionTag, Device, DeviceId, GpuHost, GraphId, Op, StreamId};
+use gaat_net::{Fabric, NetHost, NetMsg, NodeId};
+use gaat_sim::{RunOutcome, Sim, SimDuration, SimRng, SimTime, Tracer};
+use gaat_ucx::{MemLoc, UcxEvent, UcxHost, UcxState, WorkerId};
+
+use crate::config::MachineConfig;
+use crate::msg::{Callback, ChareId, Envelope};
+use crate::pe::Pe;
+
+/// A migratable, message-driven task object (the chare analogue).
+///
+/// All behaviour goes through [`Chare::receive`]; applications match on
+/// `env.entry` the way a Charm Interface file declares entry methods.
+/// The `Any` supertrait enables post-run state inspection via
+/// [`Machine::chare_as`].
+pub trait Chare: std::any::Any {
+    /// Handle one message.
+    fn receive(&mut self, ctx: &mut Ctx<'_>, env: Envelope);
+}
+
+/// Where a fired GPU completion tag is routed.
+enum TagRoute {
+    /// Deliver a callback message.
+    Callback(Callback),
+    /// Unblock a PE that issued a synchronous stream wait, then deliver.
+    UnblockPe { pe: usize, then: Callback },
+    /// Hand to the communication layer (staging-pipeline copies).
+    Ucx(u64),
+}
+
+/// What an in-flight runtime active message carries.
+enum AmKind {
+    /// An entry-method invocation.
+    Chare(ChareId, Envelope),
+    /// A reduction contribution travelling to the root.
+    Contribution {
+        reducer: u64,
+        round: u64,
+        value: f64,
+        expected: usize,
+        cb: Callback,
+    },
+    /// A broadcast-tree fragment: deliver to the local targets of the
+    /// first PE, forward the rest down the binomial tree.
+    Broadcast {
+        entry: crate::msg::EntryId,
+        refnum: u64,
+        /// (pe, chares-on-that-pe) groups still to cover; the first group
+        /// is this fragment's destination.
+        groups: Vec<(usize, Vec<ChareId>)>,
+    },
+}
+
+#[derive(Debug, Default)]
+struct ReductionSlot {
+    count: usize,
+    sum: f64,
+}
+
+/// Aggregate machine statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MachineStats {
+    /// Entry methods executed.
+    pub entries: u64,
+    /// Runtime messages sent chare-to-chare.
+    pub sends: u64,
+    /// Chare migrations performed.
+    pub migrations: u64,
+}
+
+/// The world type of every simulation in this stack.
+pub struct Machine {
+    /// Configuration the machine was built from.
+    pub cfg: MachineConfig,
+    /// One device per PE.
+    pub devices: Vec<Device>,
+    /// The interconnect.
+    pub fabric: Fabric,
+    /// The communication layer.
+    pub ucx: UcxState,
+    /// Per-PE schedulers.
+    pub pes: Vec<Pe>,
+    chares: Vec<Option<Box<dyn Chare>>>,
+    chare_pe: Vec<usize>,
+    chare_load: Vec<SimDuration>,
+    tag_routes: HashMap<u64, TagRoute>,
+    next_tag: u64,
+    am_store: HashMap<u64, AmKind>,
+    next_am: u64,
+    ucx_routes: HashMap<u64, Callback>,
+    next_ucx_user: u64,
+    reductions: HashMap<(u64, u64), ReductionSlot>,
+    next_reducer: u64,
+    next_channel: u64,
+    /// Root RNG (split per subsystem at construction).
+    pub rng: SimRng,
+    /// Entry-method span recorder, one lane per PE (enabled by
+    /// `MachineConfig::trace`). Device-side spans live in each device's
+    /// own tracer.
+    pub tracer: Tracer,
+    stats: MachineStats,
+}
+
+impl Machine {
+    /// Build a machine from a configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let rng = SimRng::new(cfg.seed);
+        let pes = cfg.total_pes();
+        let devices: Vec<Device> = (0..pes)
+            .map(|i| {
+                let mut d = Device::new(DeviceId(i), cfg.gpu.clone());
+                d.tracer.set_enabled(cfg.trace);
+                d
+            })
+            .collect();
+        let fabric = Fabric::new(cfg.nodes, cfg.net.clone(), rng.stream(1));
+        let ucx = UcxState::new(pes, cfg.ucx.clone());
+        Machine {
+            devices,
+            fabric,
+            ucx,
+            pes: (0..pes).map(|_| Pe::new()).collect(),
+            chares: Vec::new(),
+            chare_pe: Vec::new(),
+            chare_load: Vec::new(),
+            tag_routes: HashMap::new(),
+            next_tag: 0,
+            am_store: HashMap::new(),
+            next_am: 0,
+            ucx_routes: HashMap::new(),
+            next_ucx_user: 0,
+            reductions: HashMap::new(),
+            next_reducer: 0,
+            next_channel: 0,
+            rng,
+            tracer: if cfg.trace {
+                Tracer::enabled()
+            } else {
+                Tracer::new()
+            },
+            cfg,
+            stats: MachineStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    /// Number of registered chares.
+    pub fn chare_count(&self) -> usize {
+        self.chares.len()
+    }
+
+    /// Current PE of a chare.
+    pub fn pe_of(&self, c: ChareId) -> usize {
+        self.chare_pe[c.0]
+    }
+
+    /// Accumulated CPU time charged by a chare (the load metric used by
+    /// the greedy load balancer).
+    pub fn load_of(&self, c: ChareId) -> SimDuration {
+        self.chare_load[c.0]
+    }
+
+    /// Overwrite a chare's measured load (test support for the load
+    /// balancer).
+    #[doc(hidden)]
+    pub fn set_load_for_test(&mut self, c: ChareId, load: SimDuration) {
+        self.chare_load[c.0] = load;
+    }
+
+    /// Device owned by a PE (non-SMP: one GPU per PE).
+    pub fn pe_device(&self, pe: usize) -> DeviceId {
+        DeviceId(pe)
+    }
+
+    /// Register a chare on a PE. Done during setup, before the simulation
+    /// runs.
+    pub fn create_chare(&mut self, pe: usize, chare: Box<dyn Chare>) -> ChareId {
+        assert!(pe < self.pes.len(), "PE {pe} out of range");
+        let id = ChareId(self.chares.len());
+        self.chares.push(Some(chare));
+        self.chare_pe.push(pe);
+        self.chare_load.push(SimDuration::ZERO);
+        id
+    }
+
+    /// Borrow a chare's state (for post-run inspection). Panics if the
+    /// chare is currently executing.
+    pub fn chare(&self, id: ChareId) -> &dyn Chare {
+        self.chares[id.0].as_deref().expect("chare not executing")
+    }
+
+    /// Downcast helper for post-run inspection.
+    pub fn chare_as<T: Chare>(&self, id: ChareId) -> &T {
+        let c: &dyn std::any::Any = self.chare(id);
+        c.downcast_ref::<T>().expect("chare type mismatch")
+    }
+
+    /// Mutable access to a chare's state during setup (before the
+    /// simulation runs) — e.g. to hand it buffers or channel ends.
+    pub fn chare_for_setup(&mut self, id: ChareId) -> &mut dyn std::any::Any {
+        self.chares[id.0]
+            .as_deref_mut()
+            .expect("chare not executing")
+    }
+
+    /// Deliver `env` to `chare` at simulation start (used by drivers to
+    /// seed the initial broadcast without charging runtime costs).
+    pub fn inject(&mut self, sim: &mut Sim<Machine>, chare: ChareId, env: Envelope) {
+        self.enqueue_to_chare(sim, chare, env);
+    }
+
+    /// Broadcast an empty message with `entry`/`refnum` to `targets` over
+    /// a binomial tree of the involved PEs (the proxy-broadcast analogue
+    /// of `block_proxy.run()` in the paper's Fig. 3). Unlike
+    /// [`Machine::inject`], every hop pays real messaging costs.
+    pub fn broadcast(
+        &mut self,
+        sim: &mut Sim<Machine>,
+        targets: &[ChareId],
+        entry: crate::msg::EntryId,
+        refnum: u64,
+    ) {
+        // Group targets by current PE, deterministically ordered.
+        let mut by_pe: std::collections::BTreeMap<usize, Vec<ChareId>> =
+            std::collections::BTreeMap::new();
+        for &c in targets {
+            by_pe.entry(self.pe_of(c)).or_default().push(c);
+        }
+        let groups: Vec<(usize, Vec<ChareId>)> = by_pe.into_iter().collect();
+        self.deliver_broadcast(sim, entry, refnum, groups);
+    }
+
+    /// Deliver a broadcast fragment: enqueue to the head group's chares,
+    /// split the tail across two child fragments (binomial tree).
+    fn deliver_broadcast(
+        &mut self,
+        sim: &mut Sim<Machine>,
+        entry: crate::msg::EntryId,
+        refnum: u64,
+        mut groups: Vec<(usize, Vec<ChareId>)>,
+    ) {
+        if groups.is_empty() {
+            return;
+        }
+        let (head_pe, locals) = groups.remove(0);
+        // Forward the two halves of the remainder first (wire time
+        // overlaps with local delivery).
+        let mid = groups.len() / 2;
+        let right = groups.split_off(mid);
+        for child in [groups, right] {
+            if let Some(&(child_pe, _)) = child.first() {
+                let token = self.next_am;
+                self.next_am += 1;
+                let bytes = 64 + child.len() as u64 * 16;
+                self.am_store.insert(
+                    token,
+                    AmKind::Broadcast {
+                        entry,
+                        refnum,
+                        groups: child,
+                    },
+                );
+                gaat_ucx::am_send(
+                    self,
+                    sim,
+                    WorkerId(head_pe),
+                    WorkerId(child_pe),
+                    bytes,
+                    token,
+                );
+            }
+        }
+        for c in locals {
+            self.enqueue_to_chare(
+                sim,
+                c,
+                Envelope::empty(entry).with_refnum(refnum),
+            );
+        }
+    }
+
+    /// Move a chare to another PE (load balancing). Only safe between
+    /// phases when the chare has no in-flight communication.
+    pub fn migrate(&mut self, chare: ChareId, to_pe: usize) {
+        assert!(to_pe < self.pes.len());
+        self.stats.migrations += 1;
+        self.chare_pe[chare.0] = to_pe;
+    }
+
+    /// Allocate a completion-tag route.
+    fn alloc_tag(&mut self, route: TagRoute) -> CompletionTag {
+        let t = self.next_tag;
+        self.next_tag += 1;
+        self.tag_routes.insert(t, route);
+        CompletionTag(t)
+    }
+
+    /// Allocate a UCX user cookie mapped to a callback.
+    fn alloc_ucx_route(&mut self, cb: Callback) -> u64 {
+        let u = self.next_ucx_user;
+        self.next_ucx_user += 1;
+        self.ucx_routes.insert(u, cb);
+        u
+    }
+
+    /// Create a fresh reducer id.
+    pub fn create_reducer(&mut self) -> u64 {
+        let r = self.next_reducer;
+        self.next_reducer += 1;
+        r
+    }
+
+    /// Create a fresh channel id (used by [`crate::channel`]).
+    pub(crate) fn alloc_channel_id(&mut self) -> u64 {
+        let c = self.next_channel;
+        self.next_channel += 1;
+        c
+    }
+
+    fn deliver_callback(&mut self, sim: &mut Sim<Machine>, cb: Callback, value: Option<f64>) {
+        match cb {
+            Callback::Ignore => {}
+            Callback::ToChare {
+                chare,
+                entry,
+                refnum,
+            } => {
+                let env = match value {
+                    Some(v) => Envelope::new(entry, v),
+                    None => Envelope::empty(entry),
+                }
+                .with_refnum(refnum)
+                .high_priority();
+                self.enqueue_to_chare(sim, chare, env);
+            }
+        }
+    }
+
+    /// Queue a message at the chare's current PE and make sure the PE will
+    /// dispatch.
+    pub(crate) fn enqueue_to_chare(
+        &mut self,
+        sim: &mut Sim<Machine>,
+        chare: ChareId,
+        env: Envelope,
+    ) {
+        let pe = self.chare_pe[chare.0];
+        self.pes[pe].push(chare, env);
+        self.kick_pe(sim, pe);
+    }
+
+    /// Schedule a dispatch event for the PE if none is pending.
+    fn kick_pe(&mut self, sim: &mut Sim<Machine>, pe: usize) {
+        if self.pes[pe].dispatch_scheduled || self.pes[pe].blocked {
+            return;
+        }
+        let at = match self.pes[pe].busy_until {
+            Some(t) if t > sim.now() => t,
+            _ => sim.now(),
+        };
+        self.pes[pe].dispatch_scheduled = true;
+        sim.at(at, move |m: &mut Machine, sim: &mut Sim<Machine>| {
+            m.run_pe(sim, pe);
+        });
+    }
+
+    /// Execute at most one message on the PE and reschedule.
+    fn run_pe(&mut self, sim: &mut Sim<Machine>, pe: usize) {
+        self.pes[pe].dispatch_scheduled = false;
+        let now = sim.now();
+        if !self.pes[pe].ready(now) {
+            if self.pes[pe].queued() > 0 && !self.pes[pe].blocked {
+                self.kick_pe(sim, pe);
+            }
+            return;
+        }
+        let (chare_id, env) = self.pes[pe].pop().expect("ready implies nonempty");
+        self.pes[pe].stats.messages += 1;
+        let env_priority_high = env.priority == crate::msg::MsgPriority::High;
+        if env_priority_high {
+            self.pes[pe].stats.high_priority += 1;
+        }
+        self.stats.entries += 1;
+        let mut chare = self.chares[chare_id.0]
+            .take()
+            .expect("chare executing reentrantly");
+        let mut ctx = Ctx {
+            machine: self,
+            sim,
+            pe,
+            chare: chare_id,
+            charged: SimDuration::ZERO,
+            block: None,
+        };
+        ctx.charged = ctx.machine.cfg.rt.sched_per_msg + ctx.machine.cfg.rt.entry_dispatch;
+        chare.receive(&mut ctx, env);
+        let charged = ctx.charged;
+        let block = ctx.block.take();
+        self.chares[chare_id.0] = Some(chare);
+        self.chare_load[chare_id.0] += charged;
+        self.pes[pe].stats.cpu_time += charged;
+        let end = now + charged;
+        self.pes[pe].busy_until = Some(end);
+        self.tracer.record(
+            pe as u32,
+            "pe",
+            if env_priority_high { "callback" } else { "entry" },
+            now,
+            end,
+        );
+        if let Some((dev, stream, then)) = block {
+            // Synchronous stream wait: freeze the PE, enqueue a marker
+            // whose completion unblocks it (paper Fig. 4, "sync" lane).
+            self.pes[pe].blocked = true;
+            let tag = self.alloc_tag(TagRoute::UnblockPe { pe, then });
+            sim.at(end, move |m: &mut Machine, sim: &mut Sim<Machine>| {
+                m.devices[dev.0].enqueue(stream, Op::marker().with_tag(tag));
+                gaat_gpu::pump(m, sim, dev);
+            });
+        } else if self.pes[pe].queued() > 0 {
+            self.kick_pe(sim, pe);
+        }
+    }
+
+    /// Route a chare-to-chare message (runs at the instant the sending
+    /// entry method reaches the send call).
+    fn route_msg(&mut self, sim: &mut Sim<Machine>, src_pe: usize, to: ChareId, env: Envelope) {
+        self.stats.sends += 1;
+        let dst_pe = self.chare_pe[to.0];
+        if dst_pe == src_pe {
+            let delay = self.cfg.rt.local_latency;
+            sim.after(delay, move |m: &mut Machine, sim: &mut Sim<Machine>| {
+                m.enqueue_to_chare(sim, to, env);
+            });
+        } else {
+            let bytes = env.wire_bytes + self.cfg.rt.envelope_bytes;
+            let token = self.next_am;
+            self.next_am += 1;
+            self.am_store.insert(token, AmKind::Chare(to, env));
+            gaat_ucx::am_send(self, sim, WorkerId(src_pe), WorkerId(dst_pe), bytes, token);
+        }
+    }
+
+    /// CPU utilization of a PE over `[0, now]`.
+    pub fn pe_utilization(&self, pe: usize, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        self.pes[pe].stats.cpu_time.as_ns() as f64 / now.as_ns() as f64
+    }
+}
+
+impl GpuHost for Machine {
+    fn device_mut(&mut self, id: DeviceId) -> &mut Device {
+        &mut self.devices[id.0]
+    }
+
+    fn on_gpu_complete(&mut self, sim: &mut Sim<Self>, _dev: DeviceId, tag: CompletionTag) {
+        let route = self
+            .tag_routes
+            .remove(&tag.0)
+            .expect("unknown completion tag");
+        match route {
+            TagRoute::Callback(cb) => self.deliver_callback(sim, cb, None),
+            TagRoute::UnblockPe { pe, then } => {
+                self.pes[pe].blocked = false;
+                self.deliver_callback(sim, then, None);
+                self.kick_pe(sim, pe);
+            }
+            TagRoute::Ucx(cookie) => gaat_ucx::on_gpu_tag(self, sim, cookie),
+        }
+    }
+}
+
+impl NetHost for Machine {
+    fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    fn on_net_deliver(&mut self, sim: &mut Sim<Self>, msg: NetMsg) {
+        gaat_ucx::on_net_deliver(self, sim, msg);
+    }
+}
+
+impl UcxHost for Machine {
+    fn ucx_mut(&mut self) -> &mut UcxState {
+        &mut self.ucx
+    }
+
+    fn worker_node(&self, w: WorkerId) -> NodeId {
+        NodeId(self.cfg.node_of_pe(w.0))
+    }
+
+    fn on_ucx_event(&mut self, sim: &mut Sim<Self>, ev: UcxEvent) {
+        match ev {
+            UcxEvent::AmDelivered { at: _, user } => {
+                match self.am_store.remove(&user).expect("unknown AM token") {
+                    AmKind::Chare(to, env) => self.enqueue_to_chare(sim, to, env),
+                    AmKind::Contribution {
+                        reducer,
+                        round,
+                        value,
+                        expected,
+                        cb,
+                    } => {
+                        let slot = self.reductions.entry((reducer, round)).or_default();
+                        slot.count += 1;
+                        slot.sum += value;
+                        if slot.count == expected {
+                            let sum = slot.sum;
+                            self.reductions.remove(&(reducer, round));
+                            self.deliver_callback(sim, cb, Some(sum));
+                        }
+                    }
+                    AmKind::Broadcast {
+                        entry,
+                        refnum,
+                        groups,
+                    } => self.deliver_broadcast(sim, entry, refnum, groups),
+                }
+            }
+            UcxEvent::SendDone { worker: _, user } | UcxEvent::RecvDone { worker: _, user } => {
+                let cb = self.ucx_routes.remove(&user).expect("unknown UCX route");
+                self.deliver_callback(sim, cb, None);
+            }
+        }
+    }
+
+    fn alloc_gpu_tag(&mut self, cookie: u64) -> CompletionTag {
+        self.alloc_tag(TagRoute::Ucx(cookie))
+    }
+}
+
+/// The API surface an entry method sees (the `this`/proxy environment).
+pub struct Ctx<'a> {
+    /// The machine (public so setup-style code can reach devices).
+    pub machine: &'a mut Machine,
+    /// The simulator (for scheduling custom events).
+    pub sim: &'a mut Sim<Machine>,
+    pe: usize,
+    chare: ChareId,
+    charged: SimDuration,
+    block: Option<(DeviceId, StreamId, Callback)>,
+}
+
+impl<'a> Ctx<'a> {
+    /// The executing chare's id.
+    pub fn me(&self) -> ChareId {
+        self.chare
+    }
+
+    /// The PE this entry method runs on.
+    pub fn pe(&self) -> usize {
+        self.pe
+    }
+
+    /// The GPU owned by this PE.
+    pub fn device(&self) -> DeviceId {
+        self.machine.pe_device(self.pe)
+    }
+
+    /// Simulated time at which this entry method started.
+    pub fn start_time(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Simulated time charged so far (entry start offset of the next
+    /// action).
+    pub fn elapsed(&self) -> SimDuration {
+        self.charged
+    }
+
+    /// Charge pure CPU work.
+    pub fn compute(&mut self, work: SimDuration) {
+        self.charged += work;
+    }
+
+    /// Send a message to another chare (asynchronous, like a proxy entry
+    /// method invocation).
+    pub fn send(&mut self, to: ChareId, env: Envelope) {
+        self.charged += self.machine.cfg.rt.send_overhead;
+        let src_pe = self.pe;
+        let at = self.sim.now() + self.charged;
+        self.sim
+            .at(at, move |m: &mut Machine, sim: &mut Sim<Machine>| {
+                m.route_msg(sim, src_pe, to, env);
+            });
+    }
+
+    /// Enqueue a GPU operation on this PE's device, charging the CPU
+    /// launch cost.
+    pub fn launch(&mut self, stream: StreamId, op: Op) {
+        self.charged += self.machine.cfg.gpu.cpu_launch;
+        self.gpu_enqueue_at(stream, op);
+    }
+
+    /// Enqueue a lightweight stream operation (event record/wait, marker)
+    /// at the reduced CPU cost.
+    pub fn launch_light(&mut self, stream: StreamId, op: Op) {
+        self.charged += self.machine.cfg.gpu.cpu_light;
+        self.gpu_enqueue_at(stream, op);
+    }
+
+    /// Reset a CUDA-style event so it can be re-recorded this iteration.
+    /// Takes effect at the current charge offset, before subsequently
+    /// enqueued operations.
+    pub fn gpu_event_reset(&mut self, ev: gaat_gpu::CudaEventId) {
+        let dev = self.device();
+        let at = self.sim.now() + self.charged;
+        self.sim
+            .at(at, move |m: &mut Machine, _sim: &mut Sim<Machine>| {
+                m.devices[dev.0].reset_event(ev);
+            });
+    }
+
+    /// Launch a captured graph (one cheap CPU call for the whole DAG,
+    /// plus a small per-node submit cost).
+    pub fn launch_graph(&mut self, stream: StreamId, graph: GraphId, cb: Callback) {
+        let nodes = self.machine.devices[self.device().0].graph_len(graph) as u64;
+        let gpu = &self.machine.cfg.gpu;
+        self.charged += gpu.graph_launch_cpu + gpu.graph_launch_cpu_per_node * nodes;
+        let tag = self.machine.alloc_tag(TagRoute::Callback(cb));
+        self.gpu_enqueue_at(stream, Op::graph(graph).with_tag(tag));
+    }
+
+    /// Update one kernel node of a captured graph
+    /// (`cudaGraphExecKernelNodeSetParams`), charging the per-node CPU
+    /// update cost. The paper's §III-D2 alternates two pre-built graphs
+    /// precisely to avoid paying this for every node every iteration.
+    pub fn update_graph_kernel(
+        &mut self,
+        graph: GraphId,
+        node: usize,
+        spec: gaat_gpu::KernelSpec,
+    ) {
+        self.charged += self.machine.cfg.gpu.graph_node_update_cpu;
+        let dev = self.device();
+        let at = self.sim.now() + self.charged;
+        self.sim
+            .at(at, move |m: &mut Machine, _sim: &mut Sim<Machine>| {
+                m.devices[dev.0].update_graph_kernel(graph, node, spec);
+            });
+    }
+
+    /// HAPI-style asynchronous completion detection: when the stream
+    /// reaches this point, deliver `cb` (at high priority) — without
+    /// blocking the PE.
+    pub fn hapi(&mut self, stream: StreamId, cb: Callback) {
+        self.charged += self.machine.cfg.gpu.cpu_light;
+        let tag = self.machine.alloc_tag(TagRoute::Callback(cb));
+        self.gpu_enqueue_at(stream, Op::marker().with_tag(tag));
+    }
+
+    /// Synchronous stream wait (`cudaStreamSynchronize`): after this entry
+    /// method returns, the PE *blocks* — processing no further messages —
+    /// until everything currently in `stream` completes, then `resume` is
+    /// delivered. This is the synchronous-completion baseline of the
+    /// paper's Fig. 4.
+    pub fn stream_sync(&mut self, stream: StreamId, resume: Callback) {
+        self.charged += self.machine.cfg.gpu.cpu_light;
+        self.block = Some((self.device(), stream, resume));
+    }
+
+    /// Contribute to a reduction over `expected` participants; when all
+    /// have contributed (for this `round`), `cb` receives the sum as an
+    /// `f64` payload.
+    pub fn contribute(&mut self, reducer: u64, round: u64, value: f64, expected: usize, cb: Callback) {
+        self.charged += self.machine.cfg.rt.send_overhead;
+        let src_pe = self.pe;
+        let at = self.sim.now() + self.charged;
+        self.sim
+            .at(at, move |m: &mut Machine, sim: &mut Sim<Machine>| {
+                let token = m.next_am;
+                m.next_am += 1;
+                m.am_store.insert(
+                    token,
+                    AmKind::Contribution {
+                        reducer,
+                        round,
+                        value,
+                        expected,
+                        cb,
+                    },
+                );
+                // Contributions go to the root PE (PE 0).
+                gaat_ucx::am_send(m, sim, WorkerId(src_pe), WorkerId(0), 48, token);
+            });
+    }
+
+    /// Enqueue with no extra charge (internal; charge added by callers).
+    fn gpu_enqueue_at(&mut self, stream: StreamId, op: Op) {
+        let dev = self.device();
+        let at = self.sim.now() + self.charged;
+        self.sim
+            .at(at, move |m: &mut Machine, sim: &mut Sim<Machine>| {
+                m.devices[dev.0].enqueue(stream, op);
+                gaat_gpu::pump(m, sim, dev);
+            });
+    }
+
+    /// Issue a two-sided UCX send with explicit worker addressing. Used
+    /// by the Channel API, the GPU Messaging API, and the MPI layer;
+    /// applications normally go through those instead.
+    pub fn ucx_isend(
+        &mut self,
+        to_worker: usize,
+        tag: gaat_ucx::Tag,
+        loc: MemLoc,
+        cb: Callback,
+    ) {
+        self.charged += self.machine.cfg.rt.channel_call;
+        let from = self.pe;
+        let user = self.machine.alloc_ucx_route(cb);
+        let at = self.sim.now() + self.charged;
+        self.sim
+            .at(at, move |m: &mut Machine, sim: &mut Sim<Machine>| {
+                gaat_ucx::isend(m, sim, WorkerId(from), WorkerId(to_worker), tag, loc, user);
+            });
+    }
+
+    /// Issue a two-sided UCX receive with explicit worker addressing.
+    /// See [`Ctx::ucx_isend`].
+    pub fn ucx_irecv(
+        &mut self,
+        from_worker: usize,
+        tag: gaat_ucx::Tag,
+        loc: MemLoc,
+        cb: Callback,
+    ) {
+        self.charged += self.machine.cfg.rt.channel_call;
+        let me = self.pe;
+        let user = self.machine.alloc_ucx_route(cb);
+        let at = self.sim.now() + self.charged;
+        self.sim
+            .at(at, move |m: &mut Machine, sim: &mut Sim<Machine>| {
+                gaat_ucx::irecv(m, sim, WorkerId(me), WorkerId(from_worker), tag, loc, user);
+            });
+    }
+}
+
+/// A ready-to-run simulation: the engine plus the machine.
+pub struct Simulation {
+    /// The event engine.
+    pub sim: Sim<Machine>,
+    /// The machine state.
+    pub machine: Machine,
+}
+
+impl Simulation {
+    /// Build a simulation from a configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Simulation {
+            sim: Sim::new().with_event_limit(5_000_000_000),
+            machine: Machine::new(cfg),
+        }
+    }
+
+    /// Run to quiescence (the drained event queue *is* quiescence
+    /// detection: no pending work anywhere in the machine).
+    pub fn run(&mut self) -> RunOutcome {
+        self.sim.run(&mut self.machine)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{EntryId, MsgPriority};
+
+    /// A chare that counts pings and pongs back.
+    struct Ping {
+        got: u64,
+        peer: Option<ChareId>,
+        limit: u64,
+    }
+
+    const E_PING: EntryId = EntryId(0);
+
+    impl Chare for Ping {
+        fn receive(&mut self, ctx: &mut Ctx<'_>, env: Envelope) {
+            assert_eq!(env.entry, E_PING);
+            self.got += 1;
+            if self.got < self.limit {
+                if let Some(peer) = self.peer {
+                    ctx.send(peer, Envelope::empty(E_PING).with_bytes(64));
+                }
+            }
+        }
+    }
+
+    fn two_chare_setup(same_pe: bool) -> (Simulation, ChareId, ChareId) {
+        let cfg = MachineConfig::validation(if same_pe { 1 } else { 2 }, 1);
+        let mut s = Simulation::new(cfg);
+        let a = s.machine.create_chare(
+            0,
+            Box::new(Ping {
+                got: 0,
+                peer: None,
+                limit: 10,
+            }),
+        );
+        let b_pe = if same_pe { 0 } else { 1 };
+        let b = s.machine.create_chare(
+            b_pe,
+            Box::new(Ping {
+                got: 0,
+                peer: Some(a),
+                limit: 10,
+            }),
+        );
+        // wire a -> b
+        {
+            let a_ref = s.machine.chares[a.0].as_mut().expect("a");
+            // Downcast through Any to set the peer.
+            let any = a_ref.as_mut() as &mut dyn std::any::Any;
+            any.downcast_mut::<Ping>().expect("ping").peer = Some(b);
+        }
+        (s, a, b)
+    }
+
+    #[test]
+    fn ping_pong_across_nodes() {
+        let (mut s, a, b) = two_chare_setup(false);
+        let Simulation { sim, machine } = &mut s;
+        machine.inject(sim, a, Envelope::empty(E_PING));
+        assert_eq!(s.run(), RunOutcome::Drained);
+        let pa = s.machine.chare_as::<Ping>(a);
+        let pb = s.machine.chare_as::<Ping>(b);
+        // a receives the injected ping + pongs; b receives a's sends.
+        assert_eq!(pa.got + pb.got, 10 + 9);
+        assert!(s.now() > SimTime::ZERO);
+        assert_eq!(s.machine.stats().entries, 19);
+    }
+
+    #[test]
+    fn ping_pong_same_pe_is_faster() {
+        let (mut s1, a1, _) = two_chare_setup(false);
+        {
+            let Simulation { sim, machine } = &mut s1;
+            machine.inject(sim, a1, Envelope::empty(E_PING));
+        }
+        s1.run();
+        let remote = s1.now();
+
+        let (mut s2, a2, _) = two_chare_setup(true);
+        {
+            let Simulation { sim, machine } = &mut s2;
+            machine.inject(sim, a2, Envelope::empty(E_PING));
+        }
+        s2.run();
+        let local = s2.now();
+        assert!(local < remote, "local {local} should beat remote {remote}");
+    }
+
+    /// A chare that records the order in which its entries ran.
+    struct Recorder {
+        order: Vec<(u16, u64)>,
+    }
+    impl Chare for Recorder {
+        fn receive(&mut self, _ctx: &mut Ctx<'_>, env: Envelope) {
+            self.order.push((env.entry.0, env.refnum));
+        }
+    }
+
+    #[test]
+    fn high_priority_messages_jump_the_queue() {
+        let cfg = MachineConfig::validation(1, 1);
+        let mut s = Simulation::new(cfg);
+        let c = s
+            .machine
+            .create_chare(0, Box::new(Recorder { order: vec![] }));
+        let Simulation { sim, machine } = &mut s;
+        // Three normal messages then one high-priority one, all at t=0.
+        machine.inject(sim, c, Envelope::empty(EntryId(1)));
+        machine.inject(sim, c, Envelope::empty(EntryId(2)));
+        machine.inject(sim, c, Envelope::empty(EntryId(3)));
+        machine.inject(sim, c, Envelope::empty(EntryId(4)).high_priority());
+        s.run();
+        let r = s.machine.chare_as::<Recorder>(c);
+        // All four are queued before the first dispatch event fires, so
+        // the high-priority message runs first.
+        assert_eq!(
+            r.order.iter().map(|&(e, _)| e).collect::<Vec<_>>(),
+            vec![4, 1, 2, 3]
+        );
+    }
+
+    /// Chare that launches a kernel and asks for HAPI completion.
+    struct GpuUser {
+        stream: Option<StreamId>,
+        done_at: Option<SimTime>,
+        launched_at: Option<SimTime>,
+    }
+    const E_GO: EntryId = EntryId(0);
+    const E_DONE: EntryId = EntryId(1);
+
+    impl Chare for GpuUser {
+        fn receive(&mut self, ctx: &mut Ctx<'_>, env: Envelope) {
+            match env.entry {
+                E_GO => {
+                    self.launched_at = Some(ctx.start_time());
+                    let s = self.stream.expect("stream created in setup");
+                    ctx.launch(
+                        s,
+                        Op::kernel(gaat_gpu::KernelSpec::phantom(
+                            "work",
+                            SimDuration::from_us(50),
+                        )),
+                    );
+                    ctx.hapi(s, Callback::to(ctx.me(), E_DONE));
+                }
+                E_DONE => {
+                    assert_eq!(env.priority, MsgPriority::High);
+                    self.done_at = Some(ctx.start_time());
+                }
+                other => panic!("unexpected entry {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hapi_detects_gpu_completion_asynchronously() {
+        let cfg = MachineConfig::validation(1, 1);
+        let mut s = Simulation::new(cfg);
+        let stream = s.machine.devices[0].create_stream(0);
+        let c = s.machine.create_chare(
+            0,
+            Box::new(GpuUser {
+                stream: Some(stream),
+                done_at: None,
+                launched_at: None,
+            }),
+        );
+        let Simulation { sim, machine } = &mut s;
+        machine.inject(sim, c, Envelope::empty(E_GO));
+        assert_eq!(s.run(), RunOutcome::Drained);
+        let g = s.machine.chare_as::<GpuUser>(c);
+        let done = g.done_at.expect("completion callback ran");
+        // Kernel work of 50us must have elapsed before the callback.
+        assert!(done.as_ns() > 50_000, "done at {done}");
+    }
+
+    #[test]
+    fn stream_sync_blocks_other_chares() {
+        // Two chares on one PE. Chare 0 launches a long kernel with a
+        // synchronous wait; chare 1's message gets stuck behind the block.
+        struct Blocker {
+            stream: StreamId,
+            resumed_at: Option<SimTime>,
+        }
+        impl Chare for Blocker {
+            fn receive(&mut self, ctx: &mut Ctx<'_>, env: Envelope) {
+                match env.entry {
+                    EntryId(0) => {
+                        ctx.launch(
+                            self.stream,
+                            Op::kernel(gaat_gpu::KernelSpec::phantom(
+                                "long",
+                                SimDuration::from_ms(1),
+                            )),
+                        );
+                        ctx.stream_sync(self.stream, Callback::to(ctx.me(), EntryId(1)));
+                    }
+                    EntryId(1) => self.resumed_at = Some(ctx.start_time()),
+                    _ => unreachable!(),
+                }
+            }
+        }
+        struct Bystander {
+            ran_at: Option<SimTime>,
+        }
+        impl Chare for Bystander {
+            fn receive(&mut self, ctx: &mut Ctx<'_>, _env: Envelope) {
+                self.ran_at = Some(ctx.start_time());
+            }
+        }
+        let cfg = MachineConfig::validation(1, 1);
+        let mut s = Simulation::new(cfg);
+        let stream = s.machine.devices[0].create_stream(0);
+        let blocker = s.machine.create_chare(
+            0,
+            Box::new(Blocker {
+                stream,
+                resumed_at: None,
+            }),
+        );
+        let bystander = s
+            .machine
+            .create_chare(0, Box::new(Bystander { ran_at: None }));
+        let Simulation { sim, machine } = &mut s;
+        machine.inject(sim, blocker, Envelope::empty(EntryId(0)));
+        machine.inject(sim, bystander, Envelope::empty(EntryId(0)));
+        s.run();
+        let ran = s.machine.chare_as::<Bystander>(bystander).ran_at.expect("ran");
+        // The bystander could not run until the ~1ms kernel finished.
+        assert!(ran.as_ns() > 1_000_000, "bystander ran at {ran}");
+        assert!(s.machine.chare_as::<Blocker>(blocker).resumed_at.is_some());
+    }
+
+    /// With HAPI (async completion) instead of stream_sync, the bystander
+    /// runs immediately — the overlap benefit of Fig. 4.
+    #[test]
+    fn async_completion_does_not_block_other_chares() {
+        struct AsyncUser {
+            stream: StreamId,
+        }
+        impl Chare for AsyncUser {
+            fn receive(&mut self, ctx: &mut Ctx<'_>, env: Envelope) {
+                if env.entry == EntryId(0) {
+                    ctx.launch(
+                        self.stream,
+                        Op::kernel(gaat_gpu::KernelSpec::phantom(
+                            "long",
+                            SimDuration::from_ms(1),
+                        )),
+                    );
+                    ctx.hapi(self.stream, Callback::to(ctx.me(), EntryId(1)));
+                }
+            }
+        }
+        struct Bystander {
+            ran_at: Option<SimTime>,
+        }
+        impl Chare for Bystander {
+            fn receive(&mut self, ctx: &mut Ctx<'_>, _env: Envelope) {
+                self.ran_at = Some(ctx.start_time());
+            }
+        }
+        let cfg = MachineConfig::validation(1, 1);
+        let mut s = Simulation::new(cfg);
+        let stream = s.machine.devices[0].create_stream(0);
+        let a = s.machine.create_chare(0, Box::new(AsyncUser { stream }));
+        let b = s.machine.create_chare(0, Box::new(Bystander { ran_at: None }));
+        let Simulation { sim, machine } = &mut s;
+        machine.inject(sim, a, Envelope::empty(EntryId(0)));
+        machine.inject(sim, b, Envelope::empty(EntryId(0)));
+        s.run();
+        let ran = s.machine.chare_as::<Bystander>(b).ran_at.expect("ran");
+        assert!(
+            ran.as_ns() < 100_000,
+            "bystander overlapped with GPU work, ran at {ran}"
+        );
+    }
+
+    #[test]
+    fn reduction_sums_contributions() {
+        struct Contributor {
+            reducer: u64,
+            n: usize,
+            root_cb: Callback,
+            value: f64,
+        }
+        impl Chare for Contributor {
+            fn receive(&mut self, ctx: &mut Ctx<'_>, env: Envelope) {
+                if env.entry == EntryId(0) {
+                    ctx.contribute(self.reducer, 1, self.value, self.n, self.root_cb);
+                }
+            }
+        }
+        struct Root {
+            got: Option<f64>,
+        }
+        impl Chare for Root {
+            fn receive(&mut self, _ctx: &mut Ctx<'_>, env: Envelope) {
+                self.got = Some(env.take::<f64>());
+            }
+        }
+        let cfg = MachineConfig::validation(2, 2);
+        let mut s = Simulation::new(cfg);
+        let reducer = s.machine.create_reducer();
+        let root = s.machine.create_chare(0, Box::new(Root { got: None }));
+        let cb = Callback::to(root, EntryId(9));
+        let n = 4;
+        let mut ids = vec![];
+        for pe in 0..4 {
+            ids.push(s.machine.create_chare(
+                pe,
+                Box::new(Contributor {
+                    reducer,
+                    n,
+                    root_cb: cb,
+                    value: (pe + 1) as f64,
+                }),
+            ));
+        }
+        let Simulation { sim, machine } = &mut s;
+        for &c in &ids {
+            machine.inject(sim, c, Envelope::empty(EntryId(0)));
+        }
+        s.run();
+        assert_eq!(s.machine.chare_as::<Root>(root).got, Some(10.0));
+    }
+
+    #[test]
+    fn migration_moves_execution() {
+        struct WhichPe {
+            ran_on: Vec<usize>,
+        }
+        impl Chare for WhichPe {
+            fn receive(&mut self, ctx: &mut Ctx<'_>, _env: Envelope) {
+                self.ran_on.push(ctx.pe());
+            }
+        }
+        let cfg = MachineConfig::validation(1, 2);
+        let mut s = Simulation::new(cfg);
+        let c = s.machine.create_chare(0, Box::new(WhichPe { ran_on: vec![] }));
+        {
+            let Simulation { sim, machine } = &mut s;
+            machine.inject(sim, c, Envelope::empty(EntryId(0)));
+        }
+        s.run();
+        s.machine.migrate(c, 1);
+        {
+            let Simulation { sim, machine } = &mut s;
+            machine.inject(sim, c, Envelope::empty(EntryId(0)));
+        }
+        s.run();
+        assert_eq!(s.machine.chare_as::<WhichPe>(c).ran_on, vec![0, 1]);
+        assert_eq!(s.machine.stats().migrations, 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Structured-Dagger-style helpers.
+//!
+//! Charm++ expresses control flow like *"wait for six `recvHalo`
+//! messages whose reference number matches my iteration"* with SDAG
+//! `when` clauses. In this runtime, chares are explicit state machines;
+//! [`WhenSet`] provides the message-buffering half of SDAG: out-of-order
+//! messages (e.g. halos from a neighbour that is an iteration ahead) are
+//! parked until the chare's own progress catches up.
+
+use std::collections::HashMap;
+
+use crate::msg::{Envelope, EntryId};
+
+/// Buffers envelopes keyed by (entry, refnum) until the owner asks for
+/// them.
+#[derive(Debug, Default)]
+pub struct WhenSet {
+    buffered: HashMap<(EntryId, u64), Vec<Envelope>>,
+}
+
+impl WhenSet {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park a message for later.
+    pub fn deposit(&mut self, env: Envelope) {
+        self.buffered
+            .entry((env.entry, env.refnum))
+            .or_default()
+            .push(env);
+    }
+
+    /// Take one buffered message matching (entry, refnum), FIFO.
+    pub fn take(&mut self, entry: EntryId, refnum: u64) -> Option<Envelope> {
+        let key = (entry, refnum);
+        let v = self.buffered.get_mut(&key)?;
+        let env = if v.is_empty() { None } else { Some(v.remove(0)) };
+        if v.is_empty() {
+            self.buffered.remove(&key);
+        }
+        env
+    }
+
+    /// Number of buffered messages matching (entry, refnum).
+    pub fn count(&self, entry: EntryId, refnum: u64) -> usize {
+        self.buffered
+            .get(&(entry, refnum))
+            .map_or(0, |v| v.len())
+    }
+
+    /// Total buffered messages.
+    pub fn len(&self) -> usize {
+        self.buffered.values().map(|v| v.len()).sum()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buffered.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposit_take_roundtrip() {
+        let mut w = WhenSet::new();
+        w.deposit(Envelope::new(EntryId(1), 10u32).with_refnum(5));
+        w.deposit(Envelope::new(EntryId(1), 20u32).with_refnum(5));
+        w.deposit(Envelope::new(EntryId(1), 30u32).with_refnum(6));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.count(EntryId(1), 5), 2);
+        // FIFO within a key.
+        assert_eq!(w.take(EntryId(1), 5).expect("buffered").take::<u32>(), 10);
+        assert_eq!(w.take(EntryId(1), 5).expect("buffered").take::<u32>(), 20);
+        assert!(w.take(EntryId(1), 5).is_none());
+        assert_eq!(w.take(EntryId(1), 6).expect("buffered").take::<u32>(), 30);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn keys_are_disjoint() {
+        let mut w = WhenSet::new();
+        w.deposit(Envelope::new(EntryId(1), 1u32).with_refnum(0));
+        w.deposit(Envelope::new(EntryId(2), 2u32).with_refnum(0));
+        assert!(w.take(EntryId(3), 0).is_none());
+        assert_eq!(w.take(EntryId(2), 0).expect("buffered").take::<u32>(), 2);
+        assert_eq!(w.count(EntryId(1), 0), 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the device model: FIFO stream semantics,
+//! throughput conservation under processor sharing, and graph dependency
+//! correctness on random DAGs.
+
+use proptest::prelude::*;
+
+use gaat_gpu::{
+    CompletionTag, Device, DeviceId, GpuTimingModel, GraphBuilder, KernelSpec, NodeIndex, Op,
+};
+use gaat_sim::{SimDuration, SimTime};
+
+/// Drive a device until idle, returning (tag, completion time) in firing
+/// order.
+fn drain(d: &mut Device) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut now = SimTime::ZERO;
+    loop {
+        let wake = d.advance(now);
+        for t in d.drain_completions() {
+            out.push((t.0, now.as_ns()));
+        }
+        match wake {
+            Some(w) => now = w,
+            None => return out,
+        }
+    }
+}
+
+proptest! {
+    /// Ops of one stream complete in enqueue order; every tag fires once.
+    #[test]
+    fn stream_fifo_order(works in prop::collection::vec(1u64..50, 1..30)) {
+        let mut d = Device::new(DeviceId(0), GpuTimingModel::default());
+        let s = d.create_stream(0);
+        for (i, &w) in works.iter().enumerate() {
+            d.enqueue(
+                s,
+                Op::kernel(KernelSpec::phantom("k", SimDuration::from_us(w)))
+                    .with_tag(CompletionTag(i as u64)),
+            );
+        }
+        let fired = drain(&mut d);
+        prop_assert_eq!(fired.len(), works.len());
+        for (i, &(tag, _)) in fired.iter().enumerate() {
+            prop_assert_eq!(tag, i as u64);
+        }
+        // serialized: completion time of last = sum(work + dispatch)
+        let total: u64 = works
+            .iter()
+            .map(|w| w * 1000 + d.timing.kernel_dispatch.as_ns())
+            .sum();
+        prop_assert_eq!(fired.last().expect("nonempty").1, total);
+    }
+
+    /// Processor sharing conserves throughput: with everything submitted
+    /// at t=0 in one priority class and enough slots, the last completion
+    /// lands exactly at the sum of all work.
+    #[test]
+    fn processor_sharing_conserves_total_work(
+        works in prop::collection::vec(1u64..100, 1..20)
+    ) {
+        let mut d = Device::new(DeviceId(0), GpuTimingModel::default());
+        for &w in &works {
+            let s = d.create_stream(0);
+            d.enqueue(s, Op::kernel(KernelSpec::phantom("k", SimDuration::from_us(w))));
+        }
+        let mut now = SimTime::ZERO;
+        while let Some(w) = d.advance(now) {
+            now = w;
+        }
+        let total: u64 = works
+            .iter()
+            .map(|w| w * 1000 + d.timing.kernel_dispatch.as_ns())
+            .sum();
+        // Rounding of shared-progress wakeups may add < 1ns per completion.
+        let end = now.as_ns();
+        prop_assert!(
+            end >= total && end <= total + works.len() as u64,
+            "end {end} vs total {total}"
+        );
+    }
+
+    /// Random DAGs execute all nodes, complete exactly once, and take at
+    /// least the critical-path time and at most the serialized time.
+    #[test]
+    fn graph_respects_dependencies(
+        works in prop::collection::vec(1u64..50, 1..25),
+        edges in prop::collection::vec((any::<u16>(), any::<u16>()), 0..60),
+    ) {
+        let n = works.len();
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            let (a, b) = ((a as usize) % n, (b as usize) % n);
+            if a < b && !deps[b].contains(&a) {
+                deps[b].push(a);
+            }
+        }
+        let mut d = Device::new(DeviceId(0), GpuTimingModel::default());
+        let s = d.create_stream(0);
+        let mut b = GraphBuilder::new();
+        for (i, &w) in works.iter().enumerate() {
+            let dd: Vec<NodeIndex> = deps[i].iter().map(|&x| NodeIndex(x)).collect();
+            b.kernel(KernelSpec::phantom("n", SimDuration::from_us(w)), 0, &dd);
+        }
+        let g = d.register_graph(b.build());
+        d.enqueue(s, Op::graph(g).with_tag(CompletionTag(99)));
+        let fired = drain(&mut d);
+        prop_assert_eq!(fired.len(), 1);
+        let end = fired[0].1;
+
+        let nd = d.timing.graph_node_dispatch.as_ns();
+        let node_ns: Vec<u64> = works.iter().map(|w| w * 1000 + nd).collect();
+        // critical path via longest path in DAG (deps are all lower-index)
+        let mut dist = vec![0u64; n];
+        for i in 0..n {
+            let base = deps[i].iter().map(|&p| dist[p]).max().unwrap_or(0);
+            dist[i] = base + node_ns[i];
+        }
+        let critical = dist.iter().copied().max().unwrap_or(0);
+        let serial: u64 = node_ns.iter().sum();
+        prop_assert!(end >= critical, "end {end} < critical path {critical}");
+        prop_assert!(
+            end <= serial + n as u64,
+            "end {end} > serialized bound {serial}"
+        );
+        prop_assert_eq!(d.stats().graph_nodes, n as u64);
+    }
+
+    /// A high-priority kernel submitted while low-priority work runs never
+    /// finishes later than it would on an idle device plus one nanosecond
+    /// of rounding (strict priority preemption).
+    #[test]
+    fn priority_latency_is_isolation(
+        lo_work in 10u64..1000,
+        hi_work in 1u64..100,
+        delay in 0u64..500,
+    ) {
+        let mut d = Device::new(DeviceId(0), GpuTimingModel::default());
+        let lo = d.create_stream(0);
+        let hi = d.create_stream(3);
+        d.enqueue(lo, Op::kernel(KernelSpec::phantom("lo", SimDuration::from_us(lo_work))));
+        d.advance(SimTime::ZERO);
+        let submit = SimTime::from_ns(delay * 1000);
+        d.enqueue(
+            hi,
+            Op::kernel(KernelSpec::phantom("hi", SimDuration::from_us(hi_work)))
+                .with_tag(CompletionTag(1)),
+        );
+        let mut now = submit;
+        let mut hi_done = None;
+        loop {
+            let wake = d.advance(now);
+            for t in d.drain_completions() {
+                if t.0 == 1 {
+                    hi_done = Some(now);
+                }
+            }
+            match wake {
+                Some(w) => now = w,
+                None => break,
+            }
+        }
+        let hi_done = hi_done.expect("high-priority kernel finished");
+        let ideal = submit + SimDuration::from_us(hi_work) + d.timing.kernel_dispatch;
+        prop_assert!(
+            hi_done.as_ns() <= ideal.as_ns() + 1,
+            "hi finished {hi_done} vs ideal {ideal}"
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Application-level configuration and results for Jacobi3D runs.
+
+use gaat_rt::MachineConfig;
+use gaat_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::geom::Dims;
+
+/// How halo data travels between blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommMode {
+    /// Application-level host staging: explicit D2H, host message, H2D
+    /// (the `-H` variants in the paper).
+    HostStaging,
+    /// GPU-aware communication: device buffers handed directly to the
+    /// communication layer (the `-D` variants).
+    GpuAware,
+}
+
+/// Host-device synchronization scheme (paper §III-C / Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncMode {
+    /// The original implementation: two sync points per iteration (after
+    /// the update and before the halo exchange) and a single
+    /// high-priority stream for transfers and (un)packing.
+    Original,
+    /// The optimized implementation: one sync point per iteration and
+    /// separate D2H / H2D streams overlapping with (un)packing.
+    Optimized,
+}
+
+/// Kernel fusion strategy (paper §III-D1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fusion {
+    /// No fusion: one kernel per pack, unpack, and update.
+    None,
+    /// Strategy A: the six pack kernels fused into one.
+    A,
+    /// Strategy B: packs fused and unpacks fused (two kernels).
+    B,
+    /// Strategy C: unpacks + update + packs in a single kernel.
+    C,
+}
+
+impl Fusion {
+    /// True when unpacking must wait for *all* halos (fused unpack).
+    pub fn defers_unpack(self) -> bool {
+        matches!(self, Fusion::B | Fusion::C)
+    }
+}
+
+/// How graph execution handles the per-iteration in/out pointer swap
+/// (paper §III-D2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GraphStrategy {
+    /// Two captured graphs with the buffer pointers exchanged, alternated
+    /// every iteration — the paper's solution.
+    TwoGraphs,
+    /// A single graph whose every node is re-parameterized each iteration
+    /// (`cudaGraphExecKernelNodeSetParams`) — the alternative the paper
+    /// rejects because the update cost "would void the benefits".
+    UpdateParams,
+}
+
+/// A full experiment description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JacobiConfig {
+    /// The machine to simulate.
+    pub machine: MachineConfig,
+    /// Global grid extents.
+    pub global: Dims,
+    /// Overdecomposition factor: chares per PE (task-runtime versions
+    /// only; the MPI versions always run one rank per PE).
+    pub odf: usize,
+    /// Halo transport.
+    pub comm: CommMode,
+    /// Synchronization scheme.
+    pub sync: SyncMode,
+    /// Kernel fusion strategy.
+    pub fusion: Fusion,
+    /// Execute each iteration's kernels as a captured graph (two
+    /// alternating graphs for the in/out pointer swap).
+    pub graphs: bool,
+    /// Pointer-swap handling when `graphs` is on.
+    pub graph_strategy: GraphStrategy,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Warm-up iterations excluded from the timers (10 in the paper).
+    pub warmup: usize,
+    /// MPI manual-overlap variant (interior update overlapped with halo
+    /// exchange, paper Fig. 1).
+    pub overlap: bool,
+    /// Priority class of communication-related streams (packs, unpacks,
+    /// transfers). The paper argues these must outrank compute (§III-A);
+    /// setting this to 0 reproduces the unprioritized ablation.
+    pub comm_priority: usize,
+    /// Virtual MPI ranks per PE for the MPI versions (AMPI-style
+    /// virtualization, the paper's stated future work). 1 = plain MPI.
+    /// With more than one, blocking GPU waits become thread yields (as
+    /// AMPI's user-level threads would), so co-located ranks overlap.
+    pub virtual_ranks: usize,
+    /// After the last iteration, compute the global squared norm of the
+    /// field via a runtime reduction over all blocks (task-runtime
+    /// version only). Functional value requires real buffers.
+    pub compute_norm: bool,
+}
+
+impl JacobiConfig {
+    /// A sane default experiment on the given machine and grid.
+    pub fn new(machine: MachineConfig, global: Dims) -> Self {
+        JacobiConfig {
+            machine,
+            global,
+            odf: 1,
+            comm: CommMode::GpuAware,
+            sync: SyncMode::Optimized,
+            fusion: Fusion::None,
+            graphs: false,
+            graph_strategy: GraphStrategy::TwoGraphs,
+            iters: 100,
+            warmup: 10,
+            overlap: false,
+            comm_priority: 2,
+            virtual_ranks: 1,
+            compute_norm: false,
+        }
+    }
+
+    /// Total iterations including warm-up.
+    pub fn total_iters(&self) -> usize {
+        self.iters + self.warmup
+    }
+
+    /// Panics on inconsistent combinations (mirrors the paper's usage:
+    /// fusion and graphs only with GPU-aware communication; the original
+    /// sync scheme predates fusion/graphs).
+    pub fn validate(&self) {
+        assert!(self.odf >= 1, "ODF must be at least 1");
+        assert!(self.virtual_ranks >= 1, "need at least one rank per PE");
+        assert!(self.iters > 0, "need at least one timed iteration");
+        if self.fusion != Fusion::None || self.graphs {
+            assert_eq!(
+                self.comm,
+                CommMode::GpuAware,
+                "fusion/graphs are only used with GPU-aware communication"
+            );
+            assert_eq!(
+                self.sync,
+                SyncMode::Optimized,
+                "fusion/graphs build on the optimized implementation"
+            );
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Mean time per timed iteration (the paper's y-axis).
+    pub time_per_iter: SimDuration,
+    /// End-to-end simulated time.
+    pub total: SimDuration,
+    /// Time at which every block had finished warm-up.
+    pub warm_at: SimTime,
+    /// Sum of squares of the final field (validation fingerprint); `None`
+    /// in phantom mode.
+    pub checksum: Option<f64>,
+    /// Global squared norm obtained through the runtime's reduction tree
+    /// (`compute_norm`); `None` when not requested.
+    pub reduced_norm: Option<f64>,
+    /// Entry methods executed.
+    pub entries: u64,
+    /// Kernels launched via streams.
+    pub kernels: u64,
+    /// Graph launches.
+    pub graph_launches: u64,
+    /// Mean CPU utilization across PEs over the run.
+    pub cpu_utilization: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_paper_combos() {
+        let mut c = JacobiConfig::new(MachineConfig::validation(1, 2), Dims::cube(12));
+        c.validate();
+        c.comm = CommMode::GpuAware;
+        c.fusion = Fusion::C;
+        c.graphs = true;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "GPU-aware")]
+    fn fusion_requires_gpu_aware() {
+        let mut c = JacobiConfig::new(MachineConfig::validation(1, 2), Dims::cube(12));
+        c.comm = CommMode::HostStaging;
+        c.fusion = Fusion::A;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "optimized")]
+    fn graphs_require_optimized_sync() {
+        let mut c = JacobiConfig::new(MachineConfig::validation(1, 2), Dims::cube(12));
+        c.sync = SyncMode::Original;
+        c.graphs = true;
+        c.validate();
+    }
+
+    #[test]
+    fn fusion_deferral() {
+        assert!(!Fusion::None.defers_unpack());
+        assert!(!Fusion::A.defers_unpack());
+        assert!(Fusion::B.defers_unpack());
+        assert!(Fusion::C.defers_unpack());
+    }
+}

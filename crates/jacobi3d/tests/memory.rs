@@ -1,0 +1,75 @@
+//! GPU memory accounting: the paper reports ~9 GB of V100 HBM used per
+//! GPU at the 1536³-per-node weak-scaling size (two copies of the block);
+//! the model's accounting must reproduce that, and over-capacity
+//! configurations must fail loudly like a real `cudaMalloc` would.
+
+use gaat_jacobi3d::{charm, CommMode, Dims, JacobiConfig};
+use gaat_rt::MachineConfig;
+
+#[test]
+fn paper_memory_footprint_reproduced() {
+    // 1536^3 per node over 6 GPUs, ODF-1, phantom buffers.
+    let mut cfg = JacobiConfig::new(MachineConfig::summit(1), Dims::cube(1536));
+    cfg.comm = CommMode::GpuAware;
+    cfg.iters = 1;
+    cfg.warmup = 0;
+    let (sim, _ids, _sh) = charm::build(cfg);
+    for d in &sim.machine.devices {
+        let gb = d.device_bytes() as f64 / 1e9;
+        // Paper: "the larger problem size corresponds to roughly 9 GB of
+        // GPU memory usage ... most of which is for storing two separate
+        // copies of the block data".
+        assert!(
+            (9.0..11.0).contains(&gb),
+            "expected ~9-10 GB per GPU, accounted {gb:.2} GB"
+        );
+    }
+}
+
+#[test]
+fn small_problem_footprint_is_megabytes() {
+    // Paper: the 192^3-per-node size corresponds to ~18 MB.
+    let mut cfg = JacobiConfig::new(MachineConfig::summit(1), Dims::cube(192));
+    cfg.comm = CommMode::GpuAware;
+    cfg.iters = 1;
+    cfg.warmup = 0;
+    let (sim, _ids, _sh) = charm::build(cfg);
+    for d in &sim.machine.devices {
+        let mb = d.device_bytes() as f64 / 1e6;
+        assert!((15.0..30.0).contains(&mb), "expected ~18-25 MB, got {mb:.1} MB");
+    }
+}
+
+#[test]
+#[should_panic(expected = "over capacity")]
+fn oversubscribed_gpu_memory_panics() {
+    // 2560^3 per node over 6 GPUs needs ~45 GB per GPU — far over the
+    // 16 GB V100.
+    let mut cfg = JacobiConfig::new(MachineConfig::summit(1), Dims::cube(2560));
+    cfg.comm = CommMode::GpuAware;
+    cfg.iters = 1;
+    cfg.warmup = 0;
+    let _ = charm::build(cfg);
+}
+
+#[test]
+fn odf_adds_only_ghost_overhead() {
+    // Higher ODF means more blocks with more ghost layers, but the
+    // interior volume is constant: memory grows only modestly.
+    let build = |odf| {
+        let mut cfg = JacobiConfig::new(MachineConfig::summit(1), Dims::cube(768));
+        cfg.comm = CommMode::GpuAware;
+        cfg.odf = odf;
+        cfg.iters = 1;
+        cfg.warmup = 0;
+        let (sim, _, _) = charm::build(cfg);
+        sim.machine.devices.iter().map(|d| d.device_bytes()).sum::<u64>()
+    };
+    let odf1 = build(1);
+    let odf8 = build(8);
+    assert!(odf8 > odf1, "more blocks, more ghosts");
+    assert!(
+        odf8 < odf1 * 13 / 10,
+        "ghost overhead should stay below 30%: {odf1} -> {odf8}"
+    );
+}

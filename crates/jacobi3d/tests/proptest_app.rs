@@ -1,0 +1,87 @@
+//! Property-based validation: arbitrary small grids, machine shapes,
+//! ODFs, and feature combinations must all match the sequential reference
+//! bit-for-bit. This is the strongest end-to-end correctness property in
+//! the repository — it exercises decomposition remainders, boundary
+//! blocks, every protocol, and the whole event pipeline at once.
+
+use proptest::prelude::*;
+
+use gaat_jacobi3d::{charm, mpi_app, CommMode, Dims, Fusion, JacobiConfig, SyncMode};
+use gaat_rt::MachineConfig;
+
+fn any_fusion() -> impl Strategy<Value = Fusion> {
+    prop_oneof![
+        Just(Fusion::None),
+        Just(Fusion::A),
+        Just(Fusion::B),
+        Just(Fusion::C),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case runs a full simulation + reference solve
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn charm_matches_reference_on_arbitrary_configs(
+        gx in 4usize..14,
+        gy in 4usize..14,
+        gz in 4usize..14,
+        nodes in 1usize..4,
+        pes in 1usize..4,
+        odf in 1usize..5,
+        iters in 1usize..5,
+        gpu_aware in any::<bool>(),
+        original_sync in any::<bool>(),
+        fusion in any_fusion(),
+        graphs in any::<bool>(),
+    ) {
+        let mut cfg = JacobiConfig::new(
+            MachineConfig::validation(nodes, pes),
+            Dims::new(gx, gy, gz),
+        );
+        cfg.odf = odf;
+        cfg.iters = iters;
+        cfg.warmup = 1;
+        cfg.comm = if gpu_aware { CommMode::GpuAware } else { CommMode::HostStaging };
+        // Fusion/graphs only compose with GPU-aware + optimized sync.
+        if gpu_aware && !original_sync {
+            cfg.fusion = fusion;
+            cfg.graphs = graphs;
+        }
+        cfg.sync = if original_sync { SyncMode::Original } else { SyncMode::Optimized };
+        cfg.validate();
+        let (mut sim, ids, sh) = charm::build(cfg);
+        charm::run(&mut sim, &ids, &sh);
+        let compared = charm::validate_against_reference(&sim, &ids, &sh);
+        prop_assert_eq!(compared, gx * gy * gz);
+    }
+
+    #[test]
+    fn mpi_matches_reference_on_arbitrary_configs(
+        g in 4usize..14,
+        nodes in 1usize..4,
+        pes in 1usize..4,
+        vr in 1usize..4,
+        iters in 1usize..5,
+        gpu_aware in any::<bool>(),
+        overlap in any::<bool>(),
+    ) {
+        let mut cfg = JacobiConfig::new(
+            MachineConfig::validation(nodes, pes),
+            Dims::cube(g),
+        );
+        cfg.iters = iters;
+        cfg.warmup = 1;
+        cfg.virtual_ranks = vr;
+        cfg.overlap = overlap;
+        cfg.comm = if gpu_aware { CommMode::GpuAware } else { CommMode::HostStaging };
+        cfg.validate();
+        let (mut sim, ids, sh) = mpi_app::build(cfg);
+        mpi_app::run(&mut sim, &ids, &sh);
+        let compared = mpi_app::validate_against_reference(&sim, &ids, &sh);
+        prop_assert_eq!(compared, g * g * g);
+    }
+}

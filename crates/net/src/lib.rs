@@ -1,0 +1,351 @@
+//! # gaat-net — simulated interconnect
+//!
+//! A Summit-like fabric model: every node owns a NIC with separate egress
+//! (injection) and ingress (ejection) serialization queues; inter-node
+//! messages pay `latency + bytes/bandwidth` plus any queueing at either
+//! NIC. Intra-node messages travel over shared memory / NVLink and only
+//! pay a smaller latency and higher bandwidth, with no NIC involvement.
+//!
+//! Delivery times are computed at send time (the model is open-loop:
+//! in-flight messages are never preempted), so the fabric needs no advance
+//! loop — it simply schedules one delivery event per message on the
+//! simulator. Congestion appears through NIC busy-window bookkeeping.
+//!
+//! The fabric knows nothing about GPUs or protocols; the `gaat-ucx` crate
+//! layers eager/rendezvous and GPU-aware protocols on top.
+
+#![warn(missing_docs)]
+
+use gaat_sim::{Sim, SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a machine node (which hosts several PEs/GPUs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Calibration constants of the fabric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetParams {
+    /// Base one-way latency between nodes (host memory to host memory).
+    pub inter_latency: SimDuration,
+    /// One-way latency within a node (shared memory / NVLink peer copy).
+    pub intra_latency: SimDuration,
+    /// Per-node injection (and ejection) bandwidth, bytes/second.
+    pub inter_bw: f64,
+    /// Intra-node copy bandwidth, bytes/second.
+    pub intra_bw: f64,
+    /// Relative jitter applied to serialization times (models the paper's
+    /// run-to-run variance; 0 disables).
+    pub jitter: f64,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams {
+            // Dual-rail EDR InfiniBand on Summit: ~23 GB/s injection,
+            // ~1.5 us MPI-level latency.
+            inter_latency: SimDuration::from_ns(1_600),
+            intra_latency: SimDuration::from_ns(700),
+            inter_bw: 23.0e9,
+            intra_bw: 60.0e9,
+            jitter: 0.01,
+        }
+    }
+}
+
+impl NetParams {
+    /// Serialization time of `bytes` on the inter-node NIC.
+    pub fn inter_ser(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_ns((bytes as f64 / self.inter_bw * 1e9).round() as u64)
+    }
+
+    /// Serialization time of `bytes` on the intra-node path.
+    pub fn intra_ser(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_ns((bytes as f64 / self.intra_bw * 1e9).round() as u64)
+    }
+}
+
+/// A message handed to the fabric. The `token` is opaque to the fabric and
+/// returned verbatim at delivery; the communication layer uses it to find
+/// its protocol state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetMsg {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Wire size in bytes (payload + header).
+    pub bytes: u64,
+    /// Additional latency this message pays on top of the fabric base
+    /// latency (e.g. GPUDirect RDMA setup, protocol handshakes).
+    pub extra_latency: SimDuration,
+    /// Opaque correlation token for the embedder.
+    pub token: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Nic {
+    egress_free: SimTime,
+    ingress_free: SimTime,
+}
+
+/// Per-fabric statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetStats {
+    /// Messages sent (inter + intra).
+    pub messages: u64,
+    /// Total bytes sent.
+    pub bytes: u64,
+    /// Inter-node messages only.
+    pub inter_messages: u64,
+    /// Inter-node bytes only.
+    pub inter_bytes: u64,
+}
+
+/// The interconnect state: one NIC per node.
+#[derive(Debug)]
+pub struct Fabric {
+    params: NetParams,
+    nics: Vec<Nic>,
+    rng: SimRng,
+    stats: NetStats,
+}
+
+impl Fabric {
+    /// A fabric connecting `nodes` nodes.
+    pub fn new(nodes: usize, params: NetParams, rng: SimRng) -> Self {
+        Fabric {
+            params,
+            nics: vec![Nic::default(); nodes],
+            rng,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// The calibration constants in effect.
+    pub fn params(&self) -> &NetParams {
+        &self.params
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Compute the delivery time of `msg` sent at `now` and commit the NIC
+    /// busy windows. Does not schedule anything — [`send`] wraps this with
+    /// event scheduling.
+    pub fn commit(&mut self, now: SimTime, msg: &NetMsg) -> SimTime {
+        self.stats.messages += 1;
+        self.stats.bytes += msg.bytes;
+        let jitter = if self.params.jitter > 0.0 {
+            self.rng.jitter(self.params.jitter)
+        } else {
+            1.0
+        };
+        if msg.src == msg.dst {
+            // Intra-node: latency + serialization, no NIC contention.
+            let ser = self.params.intra_ser(msg.bytes).mul_f64(jitter);
+            let lat = (self.params.intra_latency + msg.extra_latency).mul_f64(jitter);
+            return now + lat + ser;
+        }
+        self.stats.inter_messages += 1;
+        self.stats.inter_bytes += msg.bytes;
+        let ser = self.params.inter_ser(msg.bytes).mul_f64(jitter);
+        let latency = (self.params.inter_latency + msg.extra_latency).mul_f64(jitter);
+
+        // Egress: wait for the injection port, then serialize.
+        let depart = now.max(self.nics[msg.src.0].egress_free);
+        self.nics[msg.src.0].egress_free = depart + ser;
+
+        // Flight: the last byte lands `latency + ser` after departure, and
+        // the ejection port must be free for the whole serialization
+        // window ending at delivery.
+        let tail_arrival = depart + latency + ser;
+        let delivery = tail_arrival.max(self.nics[msg.dst.0].ingress_free + ser);
+        self.nics[msg.dst.0].ingress_free = delivery;
+        delivery
+    }
+}
+
+/// World-side requirements for hosting the fabric.
+pub trait NetHost: Sized + 'static {
+    /// Access the fabric.
+    fn fabric_mut(&mut self) -> &mut Fabric;
+
+    /// Called when a message is delivered at the destination node.
+    fn on_net_deliver(&mut self, sim: &mut Sim<Self>, msg: NetMsg);
+}
+
+/// Send a message: computes its delivery time against current NIC state
+/// and schedules the delivery callback.
+pub fn send<W: NetHost>(w: &mut W, sim: &mut Sim<W>, msg: NetMsg) {
+    let at = w.fabric_mut().commit(sim.now(), &msg);
+    sim.at(at, move |w: &mut W, sim: &mut Sim<W>| {
+        w.on_net_deliver(sim, msg);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(nodes: usize) -> Fabric {
+        let params = NetParams {
+            jitter: 0.0,
+            ..NetParams::default()
+        };
+        Fabric::new(nodes, params, SimRng::new(1))
+    }
+
+    fn msg(src: usize, dst: usize, bytes: u64) -> NetMsg {
+        NetMsg {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            bytes,
+            extra_latency: SimDuration::ZERO,
+            token: 0,
+        }
+    }
+
+    #[test]
+    fn unloaded_inter_node_latency() {
+        let mut f = fabric(2);
+        let m = msg(0, 1, 1 << 20); // 1 MiB
+        let t = f.commit(SimTime::ZERO, &m);
+        let expect = f.params.inter_latency + f.params.inter_ser(1 << 20);
+        assert_eq!(t.as_ns(), expect.as_ns());
+        // ~45.6 us for 1 MiB at 23 GB/s plus 1.6 us
+        assert!((44_000..50_000).contains(&t.as_ns()), "{t}");
+    }
+
+    #[test]
+    fn zero_byte_message_pays_latency_only() {
+        let mut f = fabric(2);
+        let t = f.commit(SimTime::ZERO, &msg(0, 1, 0));
+        assert_eq!(t.as_ns(), f.params.inter_latency.as_ns());
+    }
+
+    #[test]
+    fn intra_node_is_faster() {
+        let mut f = fabric(2);
+        let inter = f.commit(SimTime::ZERO, &msg(0, 1, 1 << 20));
+        let intra = f.commit(SimTime::ZERO, &msg(0, 0, 1 << 20));
+        assert!(intra < inter, "intra {intra} should beat inter {inter}");
+    }
+
+    #[test]
+    fn egress_serializes_concurrent_sends() {
+        let mut f = fabric(3);
+        let a = f.commit(SimTime::ZERO, &msg(0, 1, 1 << 20));
+        let b = f.commit(SimTime::ZERO, &msg(0, 2, 1 << 20));
+        // second message waits for the first's injection window
+        let ser = f.params.inter_ser(1 << 20);
+        assert_eq!(b.as_ns(), (a + ser).as_ns());
+    }
+
+    #[test]
+    fn ingress_serializes_concurrent_receives() {
+        let mut f = fabric(3);
+        let a = f.commit(SimTime::ZERO, &msg(0, 2, 1 << 20));
+        let b = f.commit(SimTime::ZERO, &msg(1, 2, 1 << 20));
+        let ser = f.params.inter_ser(1 << 20);
+        assert_eq!(b.as_ns(), (a + ser).as_ns());
+    }
+
+    #[test]
+    fn different_pairs_do_not_contend() {
+        let mut f = fabric(4);
+        let a = f.commit(SimTime::ZERO, &msg(0, 1, 1 << 20));
+        let b = f.commit(SimTime::ZERO, &msg(2, 3, 1 << 20));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extra_latency_adds_up() {
+        let mut f = fabric(2);
+        let mut m = msg(0, 1, 1024);
+        let base = f.commit(SimTime::ZERO, &m);
+        m.extra_latency = SimDuration::from_us(5);
+        let mut f2 = fabric(2);
+        let with = f2.commit(SimTime::ZERO, &m);
+        assert_eq!(with.as_ns(), base.as_ns() + 5_000);
+    }
+
+    #[test]
+    fn jitter_perturbs_but_stays_close() {
+        let params = NetParams {
+            jitter: 0.05,
+            ..NetParams::default()
+        };
+        let nominal = params.inter_latency + params.inter_ser(1 << 20);
+        for seed in 0..50 {
+            let mut f = Fabric::new(2, params.clone(), SimRng::new(seed));
+            let t = f.commit(SimTime::ZERO, &msg(0, 1, 1 << 20));
+            let ratio = t.as_ns() as f64 / nominal.as_ns() as f64;
+            assert!((0.93..=1.07).contains(&ratio), "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn stats_account_messages() {
+        let mut f = fabric(2);
+        f.commit(SimTime::ZERO, &msg(0, 1, 100));
+        f.commit(SimTime::ZERO, &msg(0, 0, 50));
+        let s = f.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 150);
+        assert_eq!(s.inter_messages, 1);
+        assert_eq!(s.inter_bytes, 100);
+    }
+
+    #[test]
+    fn send_schedules_delivery_event() {
+        struct World {
+            fabric: Fabric,
+            got: Vec<(u64, SimTime)>,
+        }
+        impl NetHost for World {
+            fn fabric_mut(&mut self) -> &mut Fabric {
+                &mut self.fabric
+            }
+            fn on_net_deliver(&mut self, sim: &mut Sim<Self>, msg: NetMsg) {
+                self.got.push((msg.token, sim.now()));
+            }
+        }
+        let mut w = World {
+            fabric: fabric(2),
+            got: vec![],
+        };
+        let mut sim: Sim<World> = Sim::new();
+        sim.soon(|w: &mut World, sim: &mut Sim<World>| {
+            let mut m = msg(0, 1, 4096);
+            m.token = 42;
+            send(w, sim, m);
+        });
+        sim.run(&mut w);
+        assert_eq!(w.got.len(), 1);
+        assert_eq!(w.got[0].0, 42);
+        assert!(w.got[0].1 > SimTime::ZERO);
+    }
+
+    #[test]
+    fn pipelined_chunks_overlap_on_the_wire() {
+        // Sending 8 chunks back-to-back costs one latency plus 8
+        // serializations — the fabric pipelines, which is what makes the
+        // UCX pipelined-staging protocol worthwhile at all.
+        let mut f = fabric(2);
+        let chunk = 1u64 << 20;
+        let mut last = SimTime::ZERO;
+        for _ in 0..8 {
+            last = f.commit(SimTime::ZERO, &msg(0, 1, chunk));
+        }
+        let expect = f.params.inter_latency + f.params.inter_ser(chunk) * 8;
+        assert_eq!(last.as_ns(), expect.as_ns());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the fabric model: serialization conservation,
+//! latency floors, and pair independence under arbitrary traffic.
+
+use proptest::prelude::*;
+
+use gaat_net::{Fabric, NetMsg, NetParams, NodeId};
+use gaat_sim::{SimDuration, SimRng, SimTime};
+
+fn fabric(nodes: usize) -> Fabric {
+    let params = NetParams {
+        jitter: 0.0,
+        ..NetParams::default()
+    };
+    Fabric::new(nodes, params, SimRng::new(3))
+}
+
+proptest! {
+    /// Every inter-node message is delivered no earlier than
+    /// `send + latency + serialization`, regardless of load.
+    #[test]
+    fn latency_floor_holds(
+        msgs in prop::collection::vec((0usize..6, 0usize..6, 1u64..4_000_000, 0u64..100_000), 1..60)
+    ) {
+        let mut f = fabric(6);
+        let params = f.params().clone();
+        for (src, dst, bytes, at) in msgs {
+            if src == dst {
+                continue;
+            }
+            let now = SimTime::from_ns(at);
+            let m = NetMsg {
+                src: NodeId(src),
+                dst: NodeId(dst),
+                bytes,
+                extra_latency: SimDuration::ZERO,
+                token: 0,
+            };
+            let delivered = f.commit(now, &m);
+            let floor = now + params.inter_latency + params.inter_ser(bytes);
+            prop_assert!(
+                delivered >= floor,
+                "delivered {delivered} before floor {floor}"
+            );
+        }
+    }
+
+    /// Conservation at the egress port: back-to-back messages from one
+    /// node depart at least their serialization apart, so the last
+    /// delivery is bounded below by total bytes / bandwidth.
+    #[test]
+    fn egress_serialization_is_conserved(
+        sizes in prop::collection::vec(1u64..2_000_000, 1..40)
+    ) {
+        let mut f = fabric(2);
+        let params = f.params().clone();
+        let mut last = SimTime::ZERO;
+        for &bytes in &sizes {
+            let m = NetMsg {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bytes,
+                extra_latency: SimDuration::ZERO,
+                token: 0,
+            };
+            last = last.max(f.commit(SimTime::ZERO, &m));
+        }
+        let total: u64 = sizes.iter().map(|&b| params.inter_ser(b).as_ns()).sum();
+        prop_assert!(
+            last.as_ns() >= total,
+            "last delivery {last} under total serialization {total} ns"
+        );
+    }
+
+    /// Disjoint node pairs never interfere: the delivery time of a
+    /// message is the same whether or not other pairs carry traffic.
+    #[test]
+    fn disjoint_pairs_are_independent(
+        noise in prop::collection::vec(1u64..1_000_000, 0..30),
+        probe_bytes in 1u64..1_000_000,
+    ) {
+        let mut quiet = fabric(4);
+        let probe = NetMsg {
+            src: NodeId(0),
+            dst: NodeId(1),
+            bytes: probe_bytes,
+            extra_latency: SimDuration::ZERO,
+            token: 0,
+        };
+        let t_quiet = quiet.commit(SimTime::ZERO, &probe);
+
+        let mut busy = fabric(4);
+        for &bytes in &noise {
+            let m = NetMsg {
+                src: NodeId(2),
+                dst: NodeId(3),
+                bytes,
+                extra_latency: SimDuration::ZERO,
+                token: 0,
+            };
+            busy.commit(SimTime::ZERO, &m);
+        }
+        let t_busy = busy.commit(SimTime::ZERO, &probe);
+        prop_assert_eq!(t_quiet, t_busy);
+    }
+
+    /// Deliveries from one sender to one receiver preserve send order
+    /// (the fabric is FIFO per direction, which the tag-matching layer
+    /// relies on for same-tag FIFO semantics).
+    #[test]
+    fn per_pair_fifo(
+        msgs in prop::collection::vec((1u64..500_000, 0u64..50_000), 2..40)
+    ) {
+        let mut f = fabric(2);
+        let mut send_times: Vec<u64> = msgs.iter().map(|&(_, t)| t).collect();
+        send_times.sort_unstable();
+        let mut last_delivery = SimTime::ZERO;
+        for (i, &at) in send_times.iter().enumerate() {
+            let m = NetMsg {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bytes: msgs[i].0,
+                extra_latency: SimDuration::ZERO,
+                token: i as u64,
+            };
+            let d = f.commit(SimTime::from_ns(at), &m);
+            prop_assert!(
+                d >= last_delivery,
+                "delivery {d} before previous {last_delivery}"
+            );
+            last_delivery = d;
+        }
+    }
+}

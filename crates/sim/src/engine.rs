@@ -1,0 +1,390 @@
+//! The discrete-event engine.
+//!
+//! [`Sim<W>`] owns a priority queue of timestamped events. An event is a
+//! boxed `FnOnce(&mut W, &mut Sim<W>)` closure over the world type `W`
+//! chosen by the embedding application (the runtime crate uses its
+//! `Machine`). Events at equal timestamps fire in scheduling order (a
+//! monotonically increasing sequence number breaks ties), which makes every
+//! run bit-deterministic.
+//!
+//! The engine is deliberately single-threaded: determinism and
+//! reproducibility of the *simulated* machine matter far more here than
+//! wall-clock parallelism of one run. Parallelism lives one level up, in
+//! the benchmark harness, which runs many independent simulations on a
+//! Rayon pool.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// Boxed event closure over the world type `W`.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Outcome of [`Sim::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// An event called [`Sim::stop`].
+    Stopped,
+    /// The configured event-count limit was hit (likely a livelock in the
+    /// model; surfaced loudly rather than spinning forever).
+    EventLimit,
+}
+
+/// A deterministic discrete-event simulator over world type `W`.
+pub struct Sim<W> {
+    now: SimTime,
+    queue: BinaryHeap<Entry<W>>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    executed: u64,
+    stop: bool,
+    event_limit: u64,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// A fresh simulator at time zero with the default event limit.
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            executed: 0,
+            stop: false,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Cap on the total number of executed events; exceeded caps end the
+    /// run with [`RunOutcome::EventLimit`].
+    pub fn with_event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = limit;
+        self
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (including cancelled tombstones).
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `f` to run at absolute time `at`. Times in the past are
+    /// clamped to "now" (the event still runs, after already-queued events
+    /// at the current instant).
+    pub fn at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Entry {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+        EventId(seq)
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn after(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> EventId {
+        self.at(self.now + delay, f)
+    }
+
+    /// Schedule `f` at the current instant, after all events already queued
+    /// for this instant.
+    pub fn soon(&mut self, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) -> EventId {
+        self.at(self.now, f)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Ask the run loop to return after the current event completes.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+
+    /// Execute a single event if one is pending; returns whether an event
+    /// ran. Cancelled events are skipped silently.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        while let Some(entry) = self.queue.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            self.executed += 1;
+            (entry.f)(world, self);
+            return true;
+        }
+        false
+    }
+
+    /// Run until the queue drains, [`Sim::stop`] is called, or the event
+    /// limit is reached.
+    pub fn run(&mut self, world: &mut W) -> RunOutcome {
+        self.stop = false;
+        loop {
+            if self.stop {
+                return RunOutcome::Stopped;
+            }
+            if self.executed >= self.event_limit {
+                return RunOutcome::EventLimit;
+            }
+            if !self.step(world) {
+                return RunOutcome::Drained;
+            }
+        }
+    }
+
+    /// Run until simulated time would exceed `deadline` (events at exactly
+    /// `deadline` still run), the queue drains, stop is requested, or the
+    /// event limit is reached. The clock is left at
+    /// `min(deadline, time of last executed event)`.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> RunOutcome {
+        self.stop = false;
+        loop {
+            if self.stop {
+                return RunOutcome::Stopped;
+            }
+            if self.executed >= self.event_limit {
+                return RunOutcome::EventLimit;
+            }
+            match self.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > deadline => {
+                    self.now = self.now.max(deadline.min(t));
+                    return RunOutcome::Drained;
+                }
+                Some(_) => {
+                    self.step(world);
+                }
+            }
+        }
+    }
+
+    /// Timestamp of the next live (non-cancelled) pending event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.queue.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let entry = self.queue.pop().expect("peeked entry vanished");
+                self.cancelled.remove(&entry.seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type World = Vec<u32>;
+
+    fn d(ns: u64) -> SimDuration {
+        SimDuration::from_ns(ns)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        sim.after(d(30), |w: &mut World, _| w.push(3));
+        sim.after(d(10), |w: &mut World, _| w.push(1));
+        sim.after(d(20), |w: &mut World, _| w.push(2));
+        assert_eq!(sim.run(&mut w), RunOutcome::Drained);
+        assert_eq!(w, vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_ns(30));
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        for i in 0..100 {
+            sim.after(d(5), move |w: &mut World, _| w.push(i));
+        }
+        sim.run(&mut w);
+        assert_eq!(w, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        sim.after(d(10), |w: &mut World, sim: &mut Sim<World>| {
+            w.push(1);
+            sim.after(d(5), |w: &mut World, _| w.push(2));
+        });
+        sim.run(&mut w);
+        assert_eq!(w, vec![1, 2]);
+        assert_eq!(sim.now(), SimTime::from_ns(15));
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        let id = sim.after(d(10), |w: &mut World, _| w.push(99));
+        sim.after(d(20), |w: &mut World, _| w.push(1));
+        sim.cancel(id);
+        sim.run(&mut w);
+        assert_eq!(w, vec![1]);
+        // executed counts only live events
+        assert_eq!(sim.events_executed(), 1);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        let id = sim.after(d(1), |w: &mut World, _| w.push(7));
+        sim.run(&mut w);
+        sim.cancel(id);
+        sim.after(d(1), |w: &mut World, _| w.push(8));
+        sim.run(&mut w);
+        assert_eq!(w, vec![7, 8]);
+    }
+
+    #[test]
+    fn past_times_clamp_to_now() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        sim.after(d(100), |w: &mut World, sim: &mut Sim<World>| {
+            w.push(1);
+            // Scheduling "in the past" runs at the current instant.
+            sim.at(SimTime::from_ns(10), |w: &mut World, sim: &mut Sim<World>| {
+                w.push(2);
+                assert_eq!(sim.now(), SimTime::from_ns(100));
+            });
+        });
+        sim.run(&mut w);
+        assert_eq!(w, vec![1, 2]);
+    }
+
+    #[test]
+    fn stop_halts_the_loop() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        sim.after(d(1), |w: &mut World, sim: &mut Sim<World>| {
+            w.push(1);
+            sim.stop();
+        });
+        sim.after(d(2), |w: &mut World, _| w.push(2));
+        assert_eq!(sim.run(&mut w), RunOutcome::Stopped);
+        assert_eq!(w, vec![1]);
+        // The remaining event is still pending and runs on the next run().
+        assert_eq!(sim.run(&mut w), RunOutcome::Drained);
+        assert_eq!(w, vec![1, 2]);
+    }
+
+    #[test]
+    fn event_limit_detects_livelock() {
+        let mut sim: Sim<World> = Sim::new().with_event_limit(1000);
+        let mut w = Vec::new();
+        fn respawn(_: &mut World, sim: &mut Sim<World>) {
+            sim.after(SimDuration::from_ns(1), respawn);
+        }
+        sim.after(d(1), respawn);
+        assert_eq!(sim.run(&mut w), RunOutcome::EventLimit);
+        assert_eq!(sim.events_executed(), 1000);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        for i in 1..=5 {
+            sim.at(SimTime::from_ns(i * 10), move |w: &mut World, _| {
+                w.push(i as u32)
+            });
+        }
+        sim.run_until(&mut w, SimTime::from_ns(30));
+        assert_eq!(w, vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_ns(30));
+        sim.run(&mut w);
+        assert_eq!(w, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn soon_runs_after_current_instant_queue() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        sim.after(d(10), |w: &mut World, sim: &mut Sim<World>| {
+            sim.soon(|w: &mut World, _| w.push(2));
+            w.push(1);
+        });
+        sim.after(d(10), |w: &mut World, _| w.push(3));
+        sim.run(&mut w);
+        // Event at t=10 scheduled first runs first; `soon` lands after the
+        // other already-queued t=10 event because of sequence ordering.
+        assert_eq!(w, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut sim: Sim<World> = Sim::new();
+        let id = sim.after(d(5), |_: &mut World, _| {});
+        sim.after(d(9), |_: &mut World, _| {});
+        sim.cancel(id);
+        assert_eq!(sim.peek_time(), Some(SimTime::from_ns(9)));
+    }
+}

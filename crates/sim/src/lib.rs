@@ -1,0 +1,35 @@
+//! # gaat-sim — deterministic discrete-event simulation engine
+//!
+//! The foundation of the GAAT (GPU-Aware Asynchronous Tasks) stack: a
+//! single-threaded, bit-deterministic discrete-event simulator with integer
+//! nanosecond time, a splittable RNG, and statistics accumulators.
+//!
+//! Everything above this crate — the GPU device model, the interconnect,
+//! the communication library, the task runtime, and the Jacobi3D proxy
+//! application — executes as closures scheduled on [`Sim`] over a world
+//! type the embedding crate chooses.
+//!
+//! ```
+//! use gaat_sim::{Sim, SimDuration};
+//!
+//! let mut sim: Sim<u32> = Sim::new();
+//! let mut counter = 0u32;
+//! sim.after(SimDuration::from_us(5), |c: &mut u32, _| *c += 1);
+//! sim.run(&mut counter);
+//! assert_eq!(counter, 1);
+//! assert_eq!(sim.now().as_ns(), 5_000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{EventFn, EventId, RunOutcome, Sim};
+pub use rng::SimRng;
+pub use stats::{Accumulator, BusyTracker, IterationTimer, LogHistogram};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Span, SpanStats, Tracer};

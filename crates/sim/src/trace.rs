@@ -1,0 +1,245 @@
+//! Execution tracing — the simulator's answer to NVIDIA Nsight Systems /
+//! Charm++ Projections, which the paper used to find its host-device
+//! synchronization and stream-concurrency optimizations (§III-C).
+//!
+//! A [`Tracer`] records labelled spans on numbered lanes (one lane per
+//! PE, per GPU engine, etc.). It can summarize time per label and render
+//! a coarse ASCII timeline for small runs. Tracing is off by default;
+//! when disabled, [`Tracer::record`] is a no-op so the hot path stays
+//! clean at scale.
+
+use std::collections::BTreeMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// One traced interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Which timeline lane (e.g. PE index, device engine index).
+    pub lane: u32,
+    /// Category ("entry", "kernel", "d2h", ...).
+    pub category: &'static str,
+    /// Specific label ("update", "pack", ...).
+    pub label: &'static str,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Span length.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Aggregated statistics for one (category, label) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Category of the spans.
+    pub category: &'static str,
+    /// Label of the spans.
+    pub label: &'static str,
+    /// Number of spans.
+    pub count: u64,
+    /// Total time across spans.
+    pub total: SimDuration,
+}
+
+/// Span recorder.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    spans: Vec<Span>,
+}
+
+impl Tracer {
+    /// A disabled tracer (records nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An enabled tracer.
+    pub fn enabled() -> Self {
+        Tracer {
+            enabled: true,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a span (no-op while disabled).
+    #[inline]
+    pub fn record(
+        &mut self,
+        lane: u32,
+        category: &'static str,
+        label: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if self.enabled {
+            self.spans.push(Span {
+                lane,
+                category,
+                label,
+                start,
+                end,
+            });
+        }
+    }
+
+    /// All recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Aggregate by (category, label), heaviest total first.
+    pub fn summary(&self) -> Vec<SpanStats> {
+        let mut agg: BTreeMap<(&'static str, &'static str), (u64, SimDuration)> = BTreeMap::new();
+        for s in &self.spans {
+            let e = agg.entry((s.category, s.label)).or_insert((0, SimDuration::ZERO));
+            e.0 += 1;
+            e.1 += s.duration();
+        }
+        let mut out: Vec<SpanStats> = agg
+            .into_iter()
+            .map(|((category, label), (count, total))| SpanStats {
+                category,
+                label,
+                count,
+                total,
+            })
+            .collect();
+        out.sort_by(|a, b| b.total.cmp(&a.total).then(a.label.cmp(b.label)));
+        out
+    }
+
+    /// Busy time of a lane within `[from, to]` (spans clipped to the
+    /// window; overlapping spans double-count, as concurrent engines
+    /// should).
+    pub fn lane_busy(&self, lane: u32, from: SimTime, to: SimTime) -> SimDuration {
+        self.spans
+            .iter()
+            .filter(|s| s.lane == lane && s.end > from && s.start < to)
+            .map(|s| s.end.min(to).since(s.start.max(from)))
+            .sum()
+    }
+
+    /// Render a coarse ASCII Gantt chart of `lanes` over `[from, to]`,
+    /// `width` characters wide. Each cell shows the first letter of the
+    /// label occupying the majority of that cell's time (`.` = idle).
+    pub fn ascii_timeline(
+        &self,
+        lanes: &[(u32, &str)],
+        from: SimTime,
+        to: SimTime,
+        width: usize,
+    ) -> String {
+        let window = to.since(from).as_ns().max(1);
+        let cell_ns = (window as f64 / width as f64).max(1.0);
+        let mut out = String::new();
+        for &(lane, name) in lanes {
+            let mut row = vec![(SimDuration::ZERO, '.'); width];
+            for s in self.spans.iter().filter(|s| s.lane == lane) {
+                if s.end <= from || s.start >= to {
+                    continue;
+                }
+                let s0 = s.start.max(from).since(from).as_ns() as f64;
+                let s1 = s.end.min(to).since(from).as_ns() as f64;
+                let c0 = (s0 / cell_ns) as usize;
+                let c1 = ((s1 / cell_ns).ceil() as usize).min(width);
+                let ch = s.label.chars().next().unwrap_or('?');
+                for cell in row.iter_mut().take(c1).skip(c0) {
+                    let covered = SimDuration::from_ns(
+                        ((s1.min((c0 + 1) as f64 * cell_ns) - s0).max(1.0)) as u64,
+                    );
+                    // Simple majority rule: longer coverage wins the cell.
+                    if covered > cell.0 {
+                        *cell = (covered, ch);
+                    }
+                }
+            }
+            out.push_str(&format!("{name:>12} |"));
+            out.extend(row.into_iter().map(|(_, c)| c));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut tr = Tracer::new();
+        tr.record(0, "k", "a", t(0), t(10));
+        assert!(tr.spans().is_empty());
+        tr.set_enabled(true);
+        tr.record(0, "k", "a", t(0), t(10));
+        assert_eq!(tr.spans().len(), 1);
+    }
+
+    #[test]
+    fn summary_aggregates_by_label() {
+        let mut tr = Tracer::enabled();
+        tr.record(0, "kernel", "update", t(0), t(100));
+        tr.record(1, "kernel", "update", t(50), t(250));
+        tr.record(0, "kernel", "pack", t(100), t(110));
+        let s = tr.summary();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].label, "update");
+        assert_eq!(s[0].count, 2);
+        assert_eq!(s[0].total.as_ns(), 300);
+        assert_eq!(s[1].label, "pack");
+        assert_eq!(s[1].total.as_ns(), 10);
+    }
+
+    #[test]
+    fn lane_busy_clips_to_window() {
+        let mut tr = Tracer::enabled();
+        tr.record(2, "entry", "run", t(10), t(30));
+        tr.record(2, "entry", "run", t(50), t(70));
+        tr.record(3, "entry", "run", t(0), t(100));
+        assert_eq!(tr.lane_busy(2, t(0), t(100)).as_ns(), 40);
+        assert_eq!(tr.lane_busy(2, t(20), t(60)).as_ns(), 20);
+        assert_eq!(tr.lane_busy(9, t(0), t(100)).as_ns(), 0);
+    }
+
+    #[test]
+    fn ascii_timeline_shows_spans() {
+        let mut tr = Tracer::enabled();
+        tr.record(0, "kernel", "update", t(0), t(500));
+        tr.record(0, "kernel", "pack", t(500), t(1000));
+        let s = tr.ascii_timeline(&[(0, "gpu0")], t(0), t(1000), 10);
+        let row = s.lines().next().expect("one lane");
+        assert!(row.contains("gpu0"));
+        let cells: String = row.chars().skip_while(|&c| c != '|').skip(1).collect();
+        assert_eq!(cells.len(), 10);
+        assert!(cells.starts_with("uuuu"), "{cells}");
+        assert!(cells.ends_with("pppp"), "{cells}");
+    }
+
+    #[test]
+    fn timeline_idle_cells_are_dots() {
+        let tr = Tracer::enabled();
+        let s = tr.ascii_timeline(&[(0, "empty")], t(0), t(100), 8);
+        assert!(s.contains("........"));
+    }
+}

@@ -1,0 +1,800 @@
+//! # gaat-ucx — GPU-aware communication layer
+//!
+//! The analogue of UCX underneath both runtimes (the task runtime's
+//! Channel API and the MPI baseline), implementing the protocols whose
+//! interplay drives the paper's results:
+//!
+//! - **Eager** for small host-memory messages: data travels with the
+//!   first packet; the sender completes immediately.
+//! - **Rendezvous** (RTS → CTS → DATA) for large host-memory messages.
+//! - **GPUDirect RDMA** for device-memory messages up to the pipeline
+//!   threshold: rendezvous, with the NIC reading/writing GPU memory
+//!   directly (small extra latency, no DMA engine involvement).
+//! - **Pipelined host staging** for large device-memory messages: after
+//!   the handshake the payload is chunked; every chunk is staged through
+//!   the sender's D2H engine, the wire, and the receiver's H2D engine.
+//!   The staging copies occupy the *same* DMA engines the application
+//!   uses — the contention that makes GPU-aware communication lose to
+//!   application-level host staging for 9 MiB halos in the paper's
+//!   Fig. 7a, amplified by overdecomposition.
+//!
+//! Plus one-sided **active messages** used by the task runtime for entry
+//! method invocation.
+//!
+//! Two-sided operations use (source worker, tag) matching with posted /
+//! unexpected queues, like MPI and the Charm++ Channel API.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use gaat_gpu::{BufRange, CompletionTag, DeviceId, GpuHost, Op, Space, StreamId};
+use gaat_net::{NetHost, NetMsg, NodeId};
+use gaat_sim::{Sim, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// A communication endpoint — one per PE/process (and therefore one per
+/// GPU in the paper's configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub usize);
+
+/// Message tag for two-sided matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Tag(pub u64);
+
+/// Where a message buffer lives: a range of some device's memory pool
+/// (which holds both GPU and pinned-host allocations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLoc {
+    /// The owning device.
+    pub device: DeviceId,
+    /// The element range.
+    pub range: BufRange,
+}
+
+/// Protocol calibration constants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UcxParams {
+    /// Host-memory messages up to this size go eager.
+    pub eager_threshold: u64,
+    /// Device-memory messages up to this size use GPUDirect RDMA;
+    /// beyond it, the pipelined host-staging protocol (the protocol
+    /// switch observed in the paper's Fig. 7a).
+    pub pipeline_threshold: u64,
+    /// Chunk size of the pipelined staging protocol.
+    pub pipeline_chunk: u64,
+    /// Extra per-message latency of a GPUDirect transfer (NIC↔GPU BAR
+    /// access setup).
+    pub gpudirect_extra_latency: SimDuration,
+    /// Software processing time for an RTS or CTS control message.
+    pub handshake_overhead: SimDuration,
+    /// Wire header added to every message.
+    pub header_bytes: u64,
+    /// Effective wire bandwidth derating for GPUDirect reads (NIC pulling
+    /// from GPU BAR is slightly slower than host memory; 1.0 = none).
+    pub gpudirect_bw_derate: f64,
+    /// Effective bandwidth derating of the pipelined host-staging
+    /// protocol: bounce-buffer cycling and chunk synchronization keep it
+    /// well below plain host-memory transfers (cf. Hanford et al.,
+    /// "Challenges of GPU-aware communication in MPI" — the reference the
+    /// paper gives for this protocol switch).
+    pub pipeline_bw_derate: f64,
+    /// Priority class used for staging DMA operations.
+    pub staging_priority: usize,
+}
+
+impl Default for UcxParams {
+    fn default() -> Self {
+        UcxParams {
+            eager_threshold: 64 << 10,
+            pipeline_threshold: 512 << 10,
+            pipeline_chunk: 1 << 20,
+            gpudirect_extra_latency: SimDuration::from_ns(1_100),
+            handshake_overhead: SimDuration::from_ns(350),
+            header_bytes: 64,
+            gpudirect_bw_derate: 1.15,
+            pipeline_bw_derate: 1.5,
+            staging_priority: 2,
+        }
+    }
+}
+
+/// Completion notifications delivered to the embedding world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UcxEvent {
+    /// A two-sided send completed (buffer reusable).
+    SendDone {
+        /// The sending worker.
+        worker: WorkerId,
+        /// User cookie passed to [`isend`].
+        user: u64,
+    },
+    /// A two-sided receive completed (data landed).
+    RecvDone {
+        /// The receiving worker.
+        worker: WorkerId,
+        /// User cookie passed to [`irecv`].
+        user: u64,
+    },
+    /// An active message arrived.
+    AmDelivered {
+        /// The destination worker.
+        at: WorkerId,
+        /// User cookie passed to [`am_send`].
+        user: u64,
+    },
+}
+
+/// World-side requirements for hosting the communication layer.
+pub trait UcxHost: GpuHost + NetHost {
+    /// Access the protocol state.
+    fn ucx_mut(&mut self) -> &mut UcxState;
+    /// Node hosting a worker.
+    fn worker_node(&self, w: WorkerId) -> NodeId;
+    /// Completion callback; may start more communication.
+    fn on_ucx_event(&mut self, sim: &mut Sim<Self>, ev: UcxEvent);
+    /// Allocate a GPU completion tag that the world will route back to
+    /// [`on_gpu_tag`] with the given cookie.
+    fn alloc_gpu_tag(&mut self, cookie: u64) -> CompletionTag;
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Protocol {
+    Eager,
+    Rendezvous,
+    GpuDirect,
+    Pipelined,
+}
+
+#[derive(Debug)]
+struct Transfer {
+    from: WorkerId,
+    to: WorkerId,
+    tag: Tag,
+    bytes: u64,
+    protocol: Protocol,
+    send_loc: MemLoc,
+    send_user: u64,
+    recv_loc: Option<MemLoc>,
+    recv_user: u64,
+    payload: Option<Vec<f64>>,
+    chunks_total: u32,
+    chunks_d2h_done: u32,
+    chunks_h2d_done: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NetEvent {
+    Eager { xfer: u64 },
+    Rts { xfer: u64 },
+    Cts { xfer: u64 },
+    Data { xfer: u64 },
+    Chunk { xfer: u64, bytes: u64 },
+    Am { at: WorkerId, user: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum GpuTagEvent {
+    ChunkD2hDone { xfer: u64 },
+    ChunkH2dDone { xfer: u64 },
+}
+
+#[derive(Debug)]
+struct PostedRecv {
+    from: WorkerId,
+    tag: Tag,
+    loc: MemLoc,
+    user: u64,
+}
+
+#[derive(Debug)]
+struct UnexpectedArrival {
+    from: WorkerId,
+    tag: Tag,
+    xfer: u64,
+    /// true when the eager payload already arrived; false for an RTS.
+    eager: bool,
+}
+
+#[derive(Debug, Default)]
+struct WorkerEp {
+    posted: Vec<PostedRecv>,
+    unexpected: Vec<UnexpectedArrival>,
+}
+
+/// Counters of protocol activity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UcxStats {
+    /// Eager sends.
+    pub eager: u64,
+    /// Host rendezvous sends.
+    pub rendezvous: u64,
+    /// GPUDirect sends.
+    pub gpudirect: u64,
+    /// Pipelined host-staging sends.
+    pub pipelined: u64,
+    /// Staging chunks moved.
+    pub chunks: u64,
+    /// Active messages.
+    pub active_messages: u64,
+}
+
+/// Protocol state of the whole machine (all workers share one instance).
+#[derive(Debug)]
+pub struct UcxState {
+    params: UcxParams,
+    workers: Vec<WorkerEp>,
+    transfers: HashMap<u64, Transfer>,
+    net_events: HashMap<u64, NetEvent>,
+    gpu_tags: HashMap<u64, GpuTagEvent>,
+    next_token: u64,
+    comm_streams: HashMap<DeviceId, StreamId>,
+    bounce_bufs: HashMap<DeviceId, gaat_gpu::BufferId>,
+    stats: UcxStats,
+}
+
+impl UcxState {
+    /// State for `workers` endpoints.
+    pub fn new(workers: usize, params: UcxParams) -> Self {
+        UcxState {
+            params,
+            workers: (0..workers).map(|_| WorkerEp::default()).collect(),
+            transfers: HashMap::new(),
+            net_events: HashMap::new(),
+            gpu_tags: HashMap::new(),
+            next_token: 1,
+            comm_streams: HashMap::new(),
+            bounce_bufs: HashMap::new(),
+            stats: UcxStats::default(),
+        }
+    }
+
+    /// Parameters in effect.
+    pub fn params(&self) -> &UcxParams {
+        &self.params
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> UcxStats {
+        self.stats
+    }
+
+    fn token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn net_token(&mut self, ev: NetEvent) -> u64 {
+        let t = self.token();
+        self.net_events.insert(t, ev);
+        t
+    }
+
+    /// Number of in-flight transfers (diagnostics; zero when quiescent).
+    pub fn in_flight(&self) -> usize {
+        self.transfers.len()
+    }
+}
+
+fn select_protocol(params: &UcxParams, space: Space, bytes: u64) -> Protocol {
+    match space {
+        Space::Host => {
+            if bytes <= params.eager_threshold {
+                Protocol::Eager
+            } else {
+                Protocol::Rendezvous
+            }
+        }
+        Space::Device => {
+            if bytes <= params.pipeline_threshold {
+                Protocol::GpuDirect
+            } else {
+                Protocol::Pipelined
+            }
+        }
+    }
+}
+
+/// Ensure the device has a high-priority staging stream and bounce buffer.
+fn staging_stream<W: UcxHost>(w: &mut W, dev: DeviceId) -> (StreamId, gaat_gpu::BufferId) {
+    let (prio, chunk) = {
+        let p = w.ucx_mut().params();
+        (p.staging_priority, (p.pipeline_chunk / 8) as usize)
+    };
+    {
+        let ucx = w.ucx_mut();
+        if let (Some(&s), Some(&b)) = (ucx.comm_streams.get(&dev), ucx.bounce_bufs.get(&dev)) {
+            return (s, b);
+        }
+    }
+    let d = w.device_mut(dev);
+    let s = d.create_stream(prio);
+    let b = d.mem.alloc_phantom(Space::Host, chunk);
+    let ucx = w.ucx_mut();
+    ucx.comm_streams.insert(dev, s);
+    ucx.bounce_bufs.insert(dev, b);
+    (s, b)
+}
+
+/// Post a nonblocking two-sided send of `loc` from `from` to `to` with
+/// matching `tag`. `user` is echoed back in the `SendDone` event.
+pub fn isend<W: UcxHost>(
+    w: &mut W,
+    sim: &mut Sim<W>,
+    from: WorkerId,
+    to: WorkerId,
+    tag: Tag,
+    loc: MemLoc,
+    user: u64,
+) {
+    let space = w.device_mut(loc.device).mem.get(loc.range.buf).space();
+    let bytes = loc.range.bytes();
+    let protocol = select_protocol(&w.ucx_mut().params, space, bytes);
+    let xfer = w.ucx_mut().token();
+    let t = Transfer {
+        from,
+        to,
+        tag,
+        bytes,
+        protocol,
+        send_loc: loc,
+        send_user: user,
+        recv_loc: None,
+        recv_user: 0,
+        payload: None,
+        chunks_total: 0,
+        chunks_d2h_done: 0,
+        chunks_h2d_done: 0,
+    };
+    w.ucx_mut().transfers.insert(xfer, t);
+    let (src_node, dst_node) = (w.worker_node(from), w.worker_node(to));
+    match protocol {
+        Protocol::Eager => {
+            w.ucx_mut().stats.eager += 1;
+            // Payload travels immediately; the sender's buffer is free as
+            // soon as it is copied to the bounce area (model: now).
+            let payload = w.device_mut(loc.device).mem.read(loc.range);
+            let header = w.ucx_mut().params.header_bytes;
+            w.ucx_mut().transfers.get_mut(&xfer).expect("live").payload = payload;
+            let token = w.ucx_mut().net_token(NetEvent::Eager { xfer });
+            gaat_net::send(
+                w,
+                sim,
+                NetMsg {
+                    src: src_node,
+                    dst: dst_node,
+                    bytes: bytes + header,
+                    extra_latency: SimDuration::ZERO,
+                    token,
+                },
+            );
+            sim.soon(move |w: &mut W, sim: &mut Sim<W>| {
+                w.on_ucx_event(sim, UcxEvent::SendDone { worker: from, user });
+            });
+        }
+        Protocol::Rendezvous | Protocol::GpuDirect | Protocol::Pipelined => {
+            match protocol {
+                Protocol::Rendezvous => w.ucx_mut().stats.rendezvous += 1,
+                Protocol::GpuDirect => w.ucx_mut().stats.gpudirect += 1,
+                Protocol::Pipelined => w.ucx_mut().stats.pipelined += 1,
+                Protocol::Eager => unreachable!(),
+            }
+            let (header, hs) = {
+                let p = &w.ucx_mut().params;
+                (p.header_bytes, p.handshake_overhead)
+            };
+            let token = w.ucx_mut().net_token(NetEvent::Rts { xfer });
+            gaat_net::send(
+                w,
+                sim,
+                NetMsg {
+                    src: src_node,
+                    dst: dst_node,
+                    bytes: header,
+                    extra_latency: hs,
+                    token,
+                },
+            );
+        }
+    }
+}
+
+/// Post a nonblocking two-sided receive at `at` for a message from `from`
+/// with matching `tag`, landing in `loc`. `user` is echoed back in the
+/// `RecvDone` event.
+pub fn irecv<W: UcxHost>(
+    w: &mut W,
+    sim: &mut Sim<W>,
+    at: WorkerId,
+    from: WorkerId,
+    tag: Tag,
+    loc: MemLoc,
+    user: u64,
+) {
+    // Check the unexpected queue first (FIFO per (from, tag)).
+    let pos = w.ucx_mut().workers[at.0]
+        .unexpected
+        .iter()
+        .position(|u| u.from == from && u.tag == tag);
+    match pos {
+        Some(i) => {
+            let u = w.ucx_mut().workers[at.0].unexpected.remove(i);
+            attach_recv(w, u.xfer, loc, user);
+            if u.eager {
+                finish_recv(w, sim, u.xfer);
+            } else {
+                send_cts(w, sim, u.xfer);
+            }
+        }
+        None => {
+            w.ucx_mut().workers[at.0].posted.push(PostedRecv {
+                from,
+                tag,
+                loc,
+                user,
+            });
+        }
+    }
+}
+
+/// Send a one-sided active message (used for entry-method invocation by
+/// the task runtime). The payload itself stays in the runtime; only its
+/// size travels the simulated wire.
+pub fn am_send<W: UcxHost>(
+    w: &mut W,
+    sim: &mut Sim<W>,
+    from: WorkerId,
+    to: WorkerId,
+    bytes: u64,
+    user: u64,
+) {
+    w.ucx_mut().stats.active_messages += 1;
+    let header = w.ucx_mut().params.header_bytes;
+    let token = w.ucx_mut().net_token(NetEvent::Am { at: to, user });
+    let (src, dst) = (w.worker_node(from), w.worker_node(to));
+    gaat_net::send(
+        w,
+        sim,
+        NetMsg {
+            src,
+            dst,
+            bytes: bytes + header,
+            extra_latency: SimDuration::ZERO,
+            token,
+        },
+    );
+}
+
+fn attach_recv<W: UcxHost>(w: &mut W, xfer: u64, loc: MemLoc, user: u64) {
+    let t = w.ucx_mut().transfers.get_mut(&xfer).expect("live transfer");
+    assert_eq!(
+        t.bytes,
+        loc.range.bytes(),
+        "matched send/recv sizes must agree"
+    );
+    t.recv_loc = Some(loc);
+    t.recv_user = user;
+}
+
+/// Route a fabric delivery to the protocol engine. The embedding world
+/// calls this from its `NetHost::on_net_deliver`.
+pub fn on_net_deliver<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, msg: NetMsg) {
+    let ev = w
+        .ucx_mut()
+        .net_events
+        .remove(&msg.token)
+        .expect("unknown net token");
+    match ev {
+        NetEvent::Am { at, user } => {
+            w.on_ucx_event(sim, UcxEvent::AmDelivered { at, user });
+        }
+        NetEvent::Eager { xfer } => {
+            let (to, from, tag) = {
+                let t = &w.ucx_mut().transfers[&xfer];
+                (t.to, t.from, t.tag)
+            };
+            // Tag travels in the header; match on (from, tag).
+            match take_posted(w, to, from, tag) {
+                Some(p) => {
+                    attach_recv(w, xfer, p.loc, p.user);
+                    finish_recv(w, sim, xfer);
+                }
+                None => {
+                    w.ucx_mut().workers[to.0].unexpected.push(UnexpectedArrival {
+                        from,
+                        tag,
+                        xfer,
+                        eager: true,
+                    });
+                }
+            }
+        }
+        NetEvent::Rts { xfer } => {
+            let (to, from, tag) = {
+                let t = &w.ucx_mut().transfers[&xfer];
+                (t.to, t.from, t.tag)
+            };
+            match take_posted(w, to, from, tag) {
+                Some(p) => {
+                    attach_recv(w, xfer, p.loc, p.user);
+                    send_cts(w, sim, xfer);
+                }
+                None => {
+                    w.ucx_mut().workers[to.0].unexpected.push(UnexpectedArrival {
+                        from,
+                        tag,
+                        xfer,
+                        eager: false,
+                    });
+                }
+            }
+        }
+        NetEvent::Cts { xfer } => start_data(w, sim, xfer),
+        NetEvent::Data { xfer } => {
+            let (from, user) = {
+                let t = &w.ucx_mut().transfers[&xfer];
+                (t.from, t.send_user)
+            };
+            w.on_ucx_event(sim, UcxEvent::SendDone { worker: from, user });
+            finish_recv(w, sim, xfer);
+        }
+        NetEvent::Chunk { xfer, bytes } => {
+            // Stage the chunk to device memory through the receiver's H2D
+            // engine.
+            let recv_loc = w.ucx_mut().transfers[&xfer]
+                .recv_loc
+                .expect("pipelined data after match");
+            let (stream, bounce) = staging_stream(w, recv_loc.device);
+            let cookie = w.ucx_mut().token();
+            w.ucx_mut()
+                .gpu_tags
+                .insert(cookie, GpuTagEvent::ChunkH2dDone { xfer });
+            let tag = w.alloc_gpu_tag(cookie);
+            let elems = ((bytes / 8) as usize).clamp(1, recv_loc.range.len);
+            let r = recv_loc.range;
+            let dst_range = BufRange::new(r.buf, r.offset, elems);
+            let d = w.device_mut(recv_loc.device);
+            d.enqueue(
+                stream,
+                Op::h2d(BufRange::new(bounce, 0, elems), dst_range).with_tag(tag),
+            );
+            gaat_gpu::pump(w, sim, recv_loc.device);
+        }
+    }
+}
+
+/// Route a GPU completion (staging copy) back to the protocol engine. The
+/// embedding world calls this when a tag it allocated via
+/// [`UcxHost::alloc_gpu_tag`] fires.
+pub fn on_gpu_tag<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, cookie: u64) {
+    let ev = w
+        .ucx_mut()
+        .gpu_tags
+        .remove(&cookie)
+        .expect("unknown gpu tag cookie");
+    match ev {
+        GpuTagEvent::ChunkD2hDone { xfer } => {
+            // Chunk staged to host: put it on the wire and count it.
+            let chunk = w.ucx_mut().params.pipeline_chunk;
+            let header = w.ucx_mut().params.header_bytes;
+            let (from, to, this_bytes, done, total, user) = {
+                let t = w.ucx_mut().transfers.get_mut(&xfer).expect("live");
+                t.chunks_d2h_done += 1;
+                let sent = (t.chunks_d2h_done - 1) as u64 * chunk;
+                let this = chunk.min(t.bytes - sent);
+                (
+                    t.from,
+                    t.to,
+                    this,
+                    t.chunks_d2h_done,
+                    t.chunks_total,
+                    t.send_user,
+                )
+            };
+            let token = w.ucx_mut().net_token(NetEvent::Chunk {
+                xfer,
+                bytes: this_bytes,
+            });
+            let (sn, dn) = (w.worker_node(from), w.worker_node(to));
+            let derate = w.ucx_mut().params.pipeline_bw_derate;
+            let wire_bytes = (this_bytes as f64 * derate).round() as u64;
+            w.ucx_mut().stats.chunks += 1;
+            gaat_net::send(
+                w,
+                sim,
+                NetMsg {
+                    src: sn,
+                    dst: dn,
+                    bytes: wire_bytes + header,
+                    extra_latency: SimDuration::ZERO,
+                    token,
+                },
+            );
+            if done == total {
+                // Sender's buffer fully staged out: send side completes.
+                w.on_ucx_event(sim, UcxEvent::SendDone { worker: from, user });
+            }
+        }
+        GpuTagEvent::ChunkH2dDone { xfer } => {
+            let all_done = {
+                let t = w.ucx_mut().transfers.get_mut(&xfer).expect("live");
+                t.chunks_h2d_done += 1;
+                t.chunks_h2d_done == t.chunks_total
+            };
+            if all_done {
+                finish_recv(w, sim, xfer);
+            }
+        }
+    }
+}
+
+fn take_posted<W: UcxHost>(
+    w: &mut W,
+    at: WorkerId,
+    from: WorkerId,
+    tag: Tag,
+) -> Option<PostedRecv> {
+    let posted = &mut w.ucx_mut().workers[at.0].posted;
+    let i = posted.iter().position(|p| p.from == from && p.tag == tag)?;
+    Some(posted.remove(i))
+}
+
+fn send_cts<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, xfer: u64) {
+    let (to, from) = {
+        let t = &w.ucx_mut().transfers[&xfer];
+        (t.to, t.from)
+    };
+    let (header, hs) = {
+        let p = &w.ucx_mut().params;
+        (p.header_bytes, p.handshake_overhead)
+    };
+    let token = w.ucx_mut().net_token(NetEvent::Cts { xfer });
+    let (sn, dn) = (w.worker_node(to), w.worker_node(from));
+    gaat_net::send(
+        w,
+        sim,
+        NetMsg {
+            src: sn,
+            dst: dn,
+            bytes: header,
+            extra_latency: hs,
+            token,
+        },
+    );
+}
+
+/// CTS arrived back at the sender: move the payload.
+fn start_data<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, xfer: u64) {
+    let protocol = w.ucx_mut().transfers[&xfer].protocol;
+    match protocol {
+        Protocol::Rendezvous | Protocol::GpuDirect => {
+            let (loc, bytes, from, to) = {
+                let t = &w.ucx_mut().transfers[&xfer];
+                (t.send_loc, t.bytes, t.from, t.to)
+            };
+            let payload = w.device_mut(loc.device).mem.read(loc.range);
+            w.ucx_mut().transfers.get_mut(&xfer).expect("live").payload = payload;
+            let (header, extra, derate) = {
+                let p = &w.ucx_mut().params;
+                match protocol {
+                    Protocol::GpuDirect => (
+                        p.header_bytes,
+                        p.gpudirect_extra_latency,
+                        p.gpudirect_bw_derate,
+                    ),
+                    _ => (p.header_bytes, SimDuration::ZERO, 1.0),
+                }
+            };
+            // Bandwidth derating is modeled as extra wire bytes.
+            let wire_bytes = ((bytes as f64) * derate).round() as u64 + header;
+            let token = w.ucx_mut().net_token(NetEvent::Data { xfer });
+            let (sn, dn) = (w.worker_node(from), w.worker_node(to));
+            gaat_net::send(
+                w,
+                sim,
+                NetMsg {
+                    src: sn,
+                    dst: dn,
+                    bytes: wire_bytes,
+                    extra_latency: extra,
+                    token,
+                },
+            );
+        }
+        Protocol::Pipelined => {
+            // Read the payload up front (functional fidelity) and kick off
+            // the chunked D2H staging pipeline on the sender's device.
+            let (loc, bytes) = {
+                let t = &w.ucx_mut().transfers[&xfer];
+                (t.send_loc, t.bytes)
+            };
+            let payload = w.device_mut(loc.device).mem.read(loc.range);
+            let chunk = w.ucx_mut().params.pipeline_chunk;
+            let nchunks = bytes.div_ceil(chunk).max(1) as u32;
+            {
+                let t = w.ucx_mut().transfers.get_mut(&xfer).expect("live");
+                t.payload = payload;
+                t.chunks_total = nchunks;
+            }
+            let (stream, bounce) = staging_stream(w, loc.device);
+            for i in 0..nchunks {
+                let off = i as u64 * chunk;
+                let this_bytes = chunk.min(bytes - off);
+                let elems = (this_bytes / 8) as usize;
+                let src = BufRange::new(loc.range.buf, loc.range.offset, elems.max(1));
+                let cookie = w.ucx_mut().token();
+                w.ucx_mut()
+                    .gpu_tags
+                    .insert(cookie, GpuTagEvent::ChunkD2hDone { xfer });
+                let tag = w.alloc_gpu_tag(cookie);
+                let d = w.device_mut(loc.device);
+                d.enqueue(
+                    stream,
+                    Op::d2h(src, BufRange::new(bounce, 0, src.len)).with_tag(tag),
+                );
+            }
+            gaat_gpu::pump(w, sim, loc.device);
+        }
+        Protocol::Eager => unreachable!("eager has no CTS"),
+    }
+}
+
+/// Data landed (single message or all chunks): write the payload to the
+/// receive buffer and notify the receiver.
+fn finish_recv<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, xfer: u64) {
+    let t = w.ucx_mut().transfers.remove(&xfer).expect("live transfer");
+    let loc = t.recv_loc.expect("matched before completion");
+    if let Some(data) = &t.payload {
+        w.device_mut(loc.device).mem.write(loc.range, data);
+    }
+    // Pipelined transfers complete the send side when staging finishes;
+    // eager completes it at send time; plain rendezvous at data delivery
+    // (handled by the caller). Here: receiver side always completes.
+    w.on_ucx_event(
+        sim,
+        UcxEvent::RecvDone {
+            worker: t.to,
+            user: t.recv_user,
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_selection_matches_thresholds() {
+        let p = UcxParams::default();
+        assert_eq!(select_protocol(&p, Space::Host, 1024), Protocol::Eager);
+        assert_eq!(
+            select_protocol(&p, Space::Host, p.eager_threshold),
+            Protocol::Eager
+        );
+        assert_eq!(
+            select_protocol(&p, Space::Host, p.eager_threshold + 1),
+            Protocol::Rendezvous
+        );
+        assert_eq!(select_protocol(&p, Space::Device, 1024), Protocol::GpuDirect);
+        assert_eq!(
+            select_protocol(&p, Space::Device, p.pipeline_threshold),
+            Protocol::GpuDirect
+        );
+        assert_eq!(
+            select_protocol(&p, Space::Device, p.pipeline_threshold + 1),
+            Protocol::Pipelined
+        );
+    }
+
+    #[test]
+    fn tokens_are_unique() {
+        let mut s = UcxState::new(2, UcxParams::default());
+        let a = s.token();
+        let b = s.token();
+        assert_ne!(a, b);
+    }
+}
+
+// Full protocol tests (with devices and a fabric assembled into a mock
+// world) live in tests/protocols.rs.

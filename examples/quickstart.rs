@@ -1,0 +1,68 @@
+//! Quickstart: run the Jacobi3D proxy application in all four of the
+//! paper's configurations on a small simulated cluster, verify the
+//! numerics against the sequential reference, and print a comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gaat::jacobi3d::{charm, mpi_app, run_charm, run_mpi, CommMode, Dims, JacobiConfig};
+use gaat::rt::MachineConfig;
+
+fn main() {
+    // ----- Part 1: functional validation on a small real-data grid -----
+    println!("validating numerics on a 16^3 grid (real buffers, 2 nodes x 2 GPUs)...");
+    let mut vcfg = JacobiConfig::new(MachineConfig::validation(2, 2), Dims::cube(16));
+    vcfg.comm = CommMode::GpuAware;
+    vcfg.odf = 2;
+    vcfg.iters = 5;
+    vcfg.warmup = 2;
+    let (mut sim, ids, sh) = charm::build(vcfg.clone());
+    charm::run(&mut sim, &ids, &sh);
+    let cells = charm::validate_against_reference(&sim, &ids, &sh);
+    println!("  Charm-D: {cells} cells bit-identical to the reference solver");
+
+    vcfg.odf = 1;
+    let (mut sim, ids, sh) = mpi_app::build(vcfg);
+    mpi_app::run(&mut sim, &ids, &sh);
+    let cells = mpi_app::validate_against_reference(&sim, &ids, &sh);
+    println!("  MPI-D  : {cells} cells bit-identical to the reference solver");
+
+    // ----- Part 2: performance comparison (phantom mode, larger) -----
+    println!("\ncomparing the paper's four versions (192^3 per node, 4 nodes):");
+    let nodes = 4;
+    let global = Dims::new(192, 384, 384); // 192^3 per node over 4 nodes
+    let base = |comm| {
+        let mut c = JacobiConfig::new(MachineConfig::summit(nodes), global);
+        c.comm = comm;
+        c.iters = 30;
+        c.warmup = 5;
+        c
+    };
+    let mpi_h = run_mpi(base(CommMode::HostStaging));
+    let mpi_d = run_mpi(base(CommMode::GpuAware));
+    let mut ch = base(CommMode::HostStaging);
+    ch.odf = 1;
+    let charm_h = run_charm(ch);
+    let mut cd = base(CommMode::GpuAware);
+    cd.odf = 1;
+    let charm_d = run_charm(cd);
+
+    for (name, r) in [
+        ("MPI-H  ", &mpi_h),
+        ("MPI-D  ", &mpi_d),
+        ("Charm-H", &charm_h),
+        ("Charm-D", &charm_d),
+    ] {
+        println!(
+            "  {name}: {:>9.1} us/iter   (mean CPU utilization {:.0}%)",
+            r.time_per_iter.as_micros_f64(),
+            r.cpu_utilization * 100.0
+        );
+    }
+    let speedup =
+        mpi_h.time_per_iter.as_ns() as f64 / charm_d.time_per_iter.as_ns() as f64;
+    println!(
+        "\nGPU-aware asynchronous tasks (Charm-D) vs host-staging MPI: {speedup:.2}x faster"
+    );
+}

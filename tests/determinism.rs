@@ -1,0 +1,88 @@
+//! Whole-stack determinism: identical configurations must give
+//! bit-identical traces, and the only seed-dependence is the modeled
+//! jitter.
+
+use gaat::jacobi3d::{run_charm, run_mpi, CommMode, Dims, Fusion, JacobiConfig};
+use gaat::rt::MachineConfig;
+
+fn cfg() -> JacobiConfig {
+    let mut c = JacobiConfig::new(MachineConfig::summit(2), Dims::cube(192));
+    c.iters = 8;
+    c.warmup = 2;
+    c
+}
+
+#[test]
+fn charm_runs_replay_exactly() {
+    for comm in [CommMode::HostStaging, CommMode::GpuAware] {
+        let mk = || {
+            let mut c = cfg();
+            c.comm = comm;
+            c.odf = 4;
+            c
+        };
+        let a = run_charm(mk());
+        let b = run_charm(mk());
+        assert_eq!(a.time_per_iter, b.time_per_iter, "{comm:?}");
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.kernels, b.kernels);
+    }
+}
+
+#[test]
+fn mpi_runs_replay_exactly() {
+    let a = run_mpi(cfg());
+    let b = run_mpi(cfg());
+    assert_eq!(a.time_per_iter, b.time_per_iter);
+    assert_eq!(a.entries, b.entries);
+}
+
+#[test]
+fn graph_and_fusion_paths_replay_exactly() {
+    let mk = || {
+        let mut c = cfg();
+        c.comm = CommMode::GpuAware;
+        c.fusion = Fusion::B;
+        c.graphs = true;
+        c.odf = 2;
+        c
+    };
+    let a = run_charm(mk());
+    let b = run_charm(mk());
+    assert_eq!(a.total, b.total);
+    assert_eq!(a.graph_launches, b.graph_launches);
+}
+
+#[test]
+fn seeds_change_timing_but_not_structure() {
+    let mk = |seed| {
+        let mut c = cfg();
+        c.machine.seed = seed;
+        c.comm = CommMode::GpuAware;
+        c.odf = 2;
+        c
+    };
+    let a = run_charm(mk(1));
+    let b = run_charm(mk(99));
+    // Timing differs (jitter), structure does not.
+    assert_ne!(a.total, b.total);
+    assert_eq!(a.entries, b.entries);
+    assert_eq!(a.kernels, b.kernels);
+    let ratio = a.total.as_ns() as f64 / b.total.as_ns() as f64;
+    assert!((0.9..1.1).contains(&ratio), "jitter is small: {ratio}");
+}
+
+#[test]
+fn zero_jitter_makes_seeds_irrelevant() {
+    let mk = |seed| {
+        let mut c = cfg();
+        c.machine.seed = seed;
+        c.machine.net.jitter = 0.0;
+        c.comm = CommMode::GpuAware;
+        c
+    };
+    let a = run_charm(mk(1));
+    let b = run_charm(mk(2));
+    assert_eq!(a.total, b.total);
+}

@@ -1,0 +1,247 @@
+//! Shape tests: quick-effort versions of every figure must reproduce the
+//! paper's qualitative claims (who wins, where, and in which direction
+//! the knobs move performance). The acceptance criteria are the ones
+//! listed in DESIGN.md's experiment index.
+
+use gaat_bench::{best_per_point, fig6, fig7a, fig7b, fig8, fig9, Effort, Row};
+use gaat_jacobi3d::{run_charm, run_mpi, CommMode, Dims, JacobiConfig};
+use gaat_rt::MachineConfig;
+
+fn quick() -> Effort {
+    Effort::quick()
+}
+
+fn find<'a>(rows: &'a [Row], series: &str, nodes: usize) -> &'a Row {
+    rows.iter()
+        .find(|r| r.series == series && r.nodes == nodes)
+        .unwrap_or_else(|| panic!("missing row {series} @ {nodes}"))
+}
+
+#[test]
+fn fig6_optimizations_never_hurt_much_and_help_at_scale() {
+    let rows = fig6(&quick());
+    // 6a (weak scaling, huge blocks): the sync optimization is mostly
+    // hidden behind 16 ms updates — it must at least never hurt beyond
+    // noise.
+    for r in rows.iter().filter(|r| r.figure == "6a") {
+        if r.series.contains("optimized") {
+            let orig = rows
+                .iter()
+                .find(|o| {
+                    o.figure == "6a" && o.nodes == r.nodes && o.series.contains("original")
+                })
+                .expect("paired row");
+            assert!(
+                r.time_us <= orig.time_us * 1.05,
+                "6a @{}: optimized {} vs original {}",
+                r.nodes,
+                r.time_us,
+                orig.time_us
+            );
+        }
+    }
+    // 6b at the paper's exact sizes is a statistical tie in our model
+    // (overlap hides the sync/transfer costs behind 16 ms updates; see
+    // EXPERIMENTS.md) — assert only no-regression there.
+    let opt = find(&rows, "Charm-H (optimized)", 8);
+    let orig = find(&rows, "Charm-H (original)", 8);
+    assert!(
+        opt.time_us <= orig.time_us * 1.02,
+        "6b @8: optimized {} should not lose to original {}",
+        opt.time_us,
+        orig.time_us
+    );
+    // Where transfers sit on the critical path (smaller blocks), the
+    // optimizations must win visibly.
+    let run = |sync| {
+        let mut c = JacobiConfig::new(MachineConfig::summit(4), Dims::cube(768));
+        c.comm = CommMode::HostStaging;
+        c.odf = 4;
+        c.sync = sync;
+        c.iters = 10;
+        c.warmup = 2;
+        run_charm(c).time_per_iter.as_micros_f64()
+    };
+    let orig_small = run(gaat_jacobi3d::SyncMode::Original);
+    let opt_small = run(gaat_jacobi3d::SyncMode::Optimized);
+    assert!(
+        opt_small < orig_small * 0.95,
+        "transfer-bound: optimized {opt_small} should clearly beat original {orig_small}"
+    );
+}
+
+#[test]
+fn fig7a_large_halos_gpu_aware_loses_and_charm_wins() {
+    let rows = best_per_point(&fig7a(&quick()));
+    let nodes = 8;
+    let mpi_h = find(&rows, "MPI-H", nodes);
+    let charm_h = find(&rows, "Charm-H", nodes);
+    let charm_d = find(&rows, "Charm-D", nodes);
+    // Overdecomposition-driven overlap beats MPI.
+    assert!(
+        charm_h.time_us < mpi_h.time_us,
+        "Charm-H {} should beat MPI-H {}",
+        charm_h.time_us,
+        mpi_h.time_us
+    );
+    // 9.4 MB halos hit the pipelined-staging protocol: GPU-aware does NOT
+    // help (the paper's counterintuitive Fig. 7a result).
+    assert!(
+        charm_d.time_us >= charm_h.time_us * 0.97,
+        "Charm-D {} should not beat Charm-H {} on 9 MB halos",
+        charm_d.time_us,
+        charm_h.time_us
+    );
+    // Flatter scaling for the overlap versions: Charm-H grows less from
+    // 1 to 8 nodes than MPI-H.
+    let charm_growth = find(&rows, "Charm-H", 8).time_us / find(&rows, "Charm-H", 1).time_us;
+    let mpi_growth = find(&rows, "MPI-H", 8).time_us / find(&rows, "MPI-H", 1).time_us;
+    assert!(
+        charm_growth <= mpi_growth * 1.02,
+        "Charm-H growth {charm_growth} vs MPI-H growth {mpi_growth}"
+    );
+}
+
+#[test]
+fn fig7b_small_halos_gpu_aware_wins_and_odf1_is_best() {
+    let e = quick();
+    let rows = fig7b(&e);
+    let best = best_per_point(&rows);
+    let nodes = 8;
+    for (h, d) in [("MPI-H", "MPI-D"), ("Charm-H", "Charm-D")] {
+        let th = find(&best, h, nodes).time_us;
+        let td = find(&best, d, nodes).time_us;
+        assert!(td < th, "{d} ({td}) should beat {h} ({th}) on 96 KB halos");
+    }
+    // ODF-1 beats ODF-4 for both task-runtime versions (overheads beat
+    // the overlap potential at this granularity).
+    for series in ["Charm-H", "Charm-D"] {
+        let odf1 = rows
+            .iter()
+            .find(|r| r.series == series && r.nodes == nodes && r.odf == 1)
+            .expect("odf1 row");
+        let odf4 = rows
+            .iter()
+            .find(|r| r.series == series && r.nodes == nodes && r.odf == 4)
+            .expect("odf4 row");
+        assert!(
+            odf1.time_us < odf4.time_us,
+            "{series}: odf1 {} should beat odf4 {}",
+            odf1.time_us,
+            odf4.time_us
+        );
+    }
+}
+
+#[test]
+fn fig7c_mechanism_strong_scaling_favors_charm_d_once_halos_shrink() {
+    // The paper's Fig. 7c crossover logic, tested directly at a scale
+    // where halos are already below the pipeline threshold: Charm-D must
+    // be at least as good as Charm-H and clearly better than MPI-H.
+    let nodes = 16;
+    let base = |comm| {
+        let mut c = JacobiConfig::new(MachineConfig::summit(nodes), Dims::cube(768));
+        c.comm = comm;
+        c.iters = 8;
+        c.warmup = 2;
+        c
+    };
+    let mpi_h = run_mpi(base(CommMode::HostStaging)).time_per_iter.as_micros_f64();
+    let best = |comm| {
+        [1usize, 2, 4]
+            .iter()
+            .map(|&odf| {
+                let mut c = base(comm);
+                c.odf = odf;
+                run_charm(c).time_per_iter.as_micros_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let charm_h = best(CommMode::HostStaging);
+    let charm_d = best(CommMode::GpuAware);
+    assert!(charm_d < mpi_h, "Charm-D {charm_d} should beat MPI-H {mpi_h}");
+    assert!(
+        charm_d <= charm_h * 1.05,
+        "Charm-D {charm_d} should be at least on par with Charm-H {charm_h}"
+    );
+}
+
+#[test]
+fn fig8_fusion_helps_most_at_high_odf() {
+    // Launch overheads dominate from ~16 nodes at this grid size, and
+    // the effect needs enough timed iterations to reach steady state.
+    let mut e = quick();
+    e.max_nodes = 16;
+    e.iters = 15;
+    e.warmup = 3;
+    let rows = fig8(&e);
+    let nodes = 16;
+    let t = |series: &str| find(&rows, series, nodes).time_us;
+    // Aggressive fusion wins at ODF-8 (many fine-grained launches).
+    let base8 = t("Baseline (ODF-8)");
+    let c8 = t("Fusion-C (ODF-8)");
+    assert!(
+        c8 < base8 * 0.8,
+        "fusion C at ODF-8 should win big: {c8} vs {base8}"
+    );
+    // Monotone-ish ordering C <= B <= A <= baseline at ODF-8.
+    let a8 = t("Fusion-A (ODF-8)");
+    let b8 = t("Fusion-B (ODF-8)");
+    assert!(a8 <= base8 * 1.02, "A {a8} vs base {base8}");
+    assert!(b8 <= a8 * 1.02, "B {b8} vs A {a8}");
+    assert!(c8 <= b8 * 1.02, "C {c8} vs B {b8}");
+    // At ODF-1 fusion must not hurt.
+    let base1 = t("Baseline (ODF-1)");
+    let c1 = t("Fusion-C (ODF-1)");
+    assert!(c1 <= base1 * 1.02, "fusion C at ODF-1: {c1} vs {base1}");
+    // The relative win is larger at ODF-8 than at ODF-1 (paper: 51% vs
+    // 20% at full scale).
+    assert!(
+        base8 / c8 > base1 / c1,
+        "ODF-8 win {} should exceed ODF-1 win {}",
+        base8 / c8,
+        base1 / c1
+    );
+}
+
+#[test]
+fn fig9_graphs_help_high_odf_and_fusion_erodes_the_benefit() {
+    let mut e = quick();
+    e.max_nodes = 16;
+    e.iters = 15;
+    e.warmup = 3;
+    let rows = fig9(&e);
+    let speedups = gaat_bench::figures::fig9_speedups(&rows);
+    let sp = |series: &str, nodes: usize| {
+        speedups
+            .iter()
+            .find(|(s, n, _)| s == series && *n == nodes)
+            .map(|&(_, _, v)| v)
+            .unwrap_or_else(|| panic!("missing speedup {series} @ {nodes}"))
+    };
+    let nodes = 16;
+    // Graphs pay off where the CPU is saturated with launches (ODF-8,
+    // no fusion)...
+    let s_none8 = sp("NoFusion (ODF-8)", nodes);
+    assert!(s_none8 > 1.15, "ODF-8 graphs speedup {s_none8} too small");
+    // ...and the benefit shrinks as fusion removes the launches.
+    let s_c8 = sp("Fusion-C (ODF-8)", nodes);
+    assert!(
+        s_c8 < s_none8,
+        "fusion C speedup {s_c8} should be below no-fusion {s_none8}"
+    );
+    // At ODF-1 the impact is marginal either way.
+    let s_none1 = sp("NoFusion (ODF-1)", nodes);
+    assert!(
+        (0.85..1.15).contains(&s_none1),
+        "ODF-1 speedup {s_none1} should be ~1"
+    );
+    // CPU utilization rises with ODF (the paper's explanation for where
+    // graphs help).
+    let cpu1 = find(&rows, "NoFusion (ODF-1)", nodes).cpu_util;
+    let cpu8 = find(&rows, "NoFusion (ODF-8)", nodes).cpu_util;
+    assert!(
+        cpu8 > cpu1 + 0.2,
+        "CPU utilization should rise with ODF: {cpu1} -> {cpu8}"
+    );
+}
