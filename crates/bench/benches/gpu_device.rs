@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use gaat_gpu::{
-    Device, DeviceId, GpuTimingModel, GraphBuilder, KernelSpec, NodeIndex, Op,
-};
+use gaat_gpu::{Device, DeviceId, GpuTimingModel, GraphBuilder, KernelSpec, NodeIndex, Op};
 use gaat_sim::{SimDuration, SimTime};
 
 fn drain(d: &mut Device) -> SimTime {
@@ -26,7 +24,10 @@ fn bench_stream_kernels(c: &mut Criterion) {
                 let mut d = Device::new(DeviceId(0), GpuTimingModel::default());
                 let s = d.create_stream(0);
                 for _ in 0..n {
-                    d.enqueue(s, Op::kernel(KernelSpec::phantom("k", SimDuration::from_us(2))));
+                    d.enqueue(
+                        s,
+                        Op::kernel(KernelSpec::phantom("k", SimDuration::from_us(2))),
+                    );
                 }
                 drain(&mut d)
             })
@@ -42,7 +43,10 @@ fn bench_concurrent_streams(c: &mut Criterion) {
             let streams: Vec<_> = (0..64).map(|i| d.create_stream((i % 3) as usize)).collect();
             for &s in &streams {
                 for _ in 0..20 {
-                    d.enqueue(s, Op::kernel(KernelSpec::phantom("k", SimDuration::from_us(5))));
+                    d.enqueue(
+                        s,
+                        Op::kernel(KernelSpec::phantom("k", SimDuration::from_us(5))),
+                    );
                 }
             }
             drain(&mut d)
@@ -58,7 +62,10 @@ fn bench_graph_vs_stream(c: &mut Criterion) {
             let mut d = Device::new(DeviceId(0), GpuTimingModel::default());
             let s = d.create_stream(0);
             for _ in 0..chain {
-                d.enqueue(s, Op::kernel(KernelSpec::phantom("k", SimDuration::from_us(1))));
+                d.enqueue(
+                    s,
+                    Op::kernel(KernelSpec::phantom("k", SimDuration::from_us(1))),
+                );
             }
             drain(&mut d)
         })

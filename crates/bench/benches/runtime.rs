@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use gaat_bench::ablation::sync_vs_async_completion;
-use gaat_rt::{
-    Callback, Chare, ChareId, Ctx, EntryId, Envelope, MachineConfig, Simulation,
-};
+use gaat_rt::{Callback, Chare, ChareId, Ctx, EntryId, Envelope, MachineConfig, Simulation};
 
 const E_PING: EntryId = EntryId(0);
 

@@ -14,8 +14,8 @@
 use gaat_gpu::{KernelSpec, Op, Space, StreamId};
 use gaat_jacobi3d::{run_charm, CommMode, Dims, JacobiConfig};
 use gaat_rt::{
-    gpu_msg, BufRange, Callback, Chare, ChareId, ChannelEnd, Ctx, EntryId, Envelope,
-    MachineConfig, MemLoc, Simulation,
+    gpu_msg, BufRange, Callback, ChannelEnd, Chare, ChareId, Ctx, EntryId, Envelope, MachineConfig,
+    MemLoc, Simulation,
 };
 use gaat_sim::{SimDuration, SimTime};
 

@@ -53,10 +53,7 @@ fn main() {
         "effort={effort_name}: iters={} warmup={} max_nodes={} odfs={:?} seeds={:?}",
         effort.iters, effort.warmup, effort.max_nodes, effort.odfs, effort.seeds
     );
-    println!(
-        "machine model: {}",
-        serde_json::to_string(&gaat_rt::MachineConfig::summit(1)).expect("serializable")
-    );
+    println!("machine model: {:?}", gaat_rt::MachineConfig::summit(1));
 
     let want = |name: &str| fig == "all" || fig == name || (name.starts_with(&fig) && fig == "7");
 
@@ -71,10 +68,7 @@ fn main() {
     if want("7a") {
         let rows = fig7a(&effort);
         write_csv(&out.join("fig7a.csv"), &rows).expect("write fig7a.csv");
-        print_table(
-            "Fig 7a — weak scaling, 1536^3 per node (all ODFs)",
-            &rows,
-        );
+        print_table("Fig 7a — weak scaling, 1536^3 per node (all ODFs)", &rows);
         print_table("Fig 7a — best ODF per point", &best_per_point(&rows));
     }
     if want("7b") {
@@ -107,19 +101,28 @@ fn main() {
         let mut rows = Vec::new();
         rows.extend(ablation::comm_priority(&effort, 8.min(effort.max_nodes)));
         rows.extend(ablation::pipeline_threshold_sweep(&effort));
-        rows.extend(ablation::ampi_virtualization(&effort, 4.min(effort.max_nodes)));
+        rows.extend(ablation::ampi_virtualization(
+            &effort,
+            4.min(effort.max_nodes),
+        ));
         write_csv(&out.join("ablations.csv"), &rows).expect("write ablations.csv");
         print_table("Ablations — stream priority & protocol threshold", &rows);
 
         let (ch, gm) = ablation::channel_vs_gpu_messaging(96 << 10, 20);
         println!("\n=== Ablation — Channel API vs GPU Messaging API (96 KiB device ping-pong) ===");
         println!("  Channel API       : {ch:.1} us/hop");
-        println!("  GPU Messaging API : {gm:.1} us/hop   ({:.2}x slower)", gm / ch);
+        println!(
+            "  GPU Messaging API : {gm:.1} us/hop   ({:.2}x slower)",
+            gm / ch
+        );
 
         let (sync_us, async_us) = ablation::sync_vs_async_completion(4, 16, 50);
         println!("\n=== Ablation — Fig 4: completion detection (4 chares on one PE) ===");
         println!("  synchronous  : {sync_us:.1} us makespan");
-        println!("  asynchronous : {async_us:.1} us makespan ({:.2}x faster)", sync_us / async_us);
+        println!(
+            "  asynchronous : {async_us:.1} us makespan ({:.2}x faster)",
+            sync_us / async_us
+        );
     }
     println!("\nCSV written under {}", out.display());
 }

@@ -37,8 +37,7 @@ struct Job {
 fn exec(jobs: Vec<Job>, e: &Effort) -> Vec<Row> {
     run_jobs(jobs, |j| {
         run_point(
-            j.figure, &j.series, j.variant, j.nodes, j.global, j.odf, j.fusion, j.graphs, j.sync,
-            e,
+            j.figure, &j.series, j.variant, j.nodes, j.global, j.odf, j.fusion, j.graphs, j.sync, e,
         )
     })
 }

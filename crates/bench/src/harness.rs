@@ -6,10 +6,10 @@ use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use gaat_jacobi3d::{run_charm, run_mpi, CommMode, Fusion, JacobiConfig, SyncMode};
-use serde::{Deserialize, Serialize};
 
 /// Which of the paper's four Jacobi3D versions to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Variant {
     /// MPI with host staging.
     MpiH,
@@ -47,7 +47,8 @@ impl Variant {
 }
 
 /// How much compute to spend regenerating figures.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Effort {
     /// Timed iterations (paper: 100).
     pub iters: usize,
@@ -108,7 +109,8 @@ impl Effort {
 }
 
 /// One measured point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Row {
     /// Figure id ("6a", "7c", ...).
     pub figure: String,
@@ -157,10 +159,7 @@ pub fn run_point(
     let mut total_us = 0.0;
     let mut total_cpu = 0.0;
     for &seed in &e.seeds {
-        let mut cfg = JacobiConfig::new(
-            gaat_rt::MachineConfig::summit(nodes),
-            global,
-        );
+        let mut cfg = JacobiConfig::new(gaat_rt::MachineConfig::summit(nodes), global);
         cfg.machine.seed = seed;
         cfg.comm = variant.comm();
         cfg.sync = sync;
@@ -206,8 +205,8 @@ where
         .unwrap_or(4)
         .min(n.max(1));
     let next = AtomicUsize::new(0);
-    let out: Vec<parking_lot::Mutex<Option<Row>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let out: Vec<std::sync::Mutex<Option<Row>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
@@ -215,12 +214,12 @@ where
                 if i >= n {
                     break;
                 }
-                *out[i].lock() = Some(f(&jobs[i]));
+                *out[i].lock().expect("job panicked") = Some(f(&jobs[i]));
             });
         }
     });
     out.into_iter()
-        .map(|m| m.into_inner().expect("job ran"))
+        .map(|m| m.into_inner().expect("lock poisoned").expect("job ran"))
         .collect()
 }
 
@@ -271,14 +270,8 @@ pub fn print_table(title: &str, rows: &[Row]) {
     println!("\n=== {title} ===");
     let mut sorted: Vec<&Row> = rows.iter().collect();
     sorted.sort_by(|a, b| {
-        (&a.figure, a.nodes, &a.series, a.odf, &a.fusion, a.graphs).cmp(&(
-            &b.figure,
-            b.nodes,
-            &b.series,
-            b.odf,
-            &b.fusion,
-            b.graphs,
-        ))
+        (&a.figure, a.nodes, &a.series, a.odf, &a.fusion, a.graphs)
+            .cmp(&(&b.figure, b.nodes, &b.series, b.odf, &b.fusion, b.graphs))
     });
     let mut last_group = (String::new(), usize::MAX);
     for r in sorted {

@@ -8,13 +8,13 @@
 use gaat_gpu::{BufRange, Space};
 use gaat_rt::{Callback, Chare, Ctx, EntryId, Envelope, MachineConfig, MemLoc, Simulation};
 use gaat_sim::SimTime;
-use serde::Serialize;
 
 const E_GO: EntryId = EntryId(0);
 const E_RECVD: EntryId = EntryId(1);
 
 /// One measured point of the protocol landscape.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct ProtocolPoint {
     /// Message size in bytes.
     pub bytes: u64,
@@ -183,7 +183,10 @@ mod tests {
         assert_eq!(measure(16 << 10, Space::Host).protocol, "eager");
         assert_eq!(measure(256 << 10, Space::Host).protocol, "rendezvous");
         assert_eq!(measure(96 << 10, Space::Device).protocol, "gpudirect");
-        assert_eq!(measure(9 << 20, Space::Device).protocol, "pipelined-staging");
+        assert_eq!(
+            measure(9 << 20, Space::Device).protocol,
+            "pipelined-staging"
+        );
     }
 
     #[test]

@@ -4,13 +4,13 @@ use gaat_gpu::GpuTimingModel;
 use gaat_net::NetParams;
 use gaat_sim::SimDuration;
 use gaat_ucx::UcxParams;
-use serde::{Deserialize, Serialize};
 
 /// CPU-side costs of the task runtime (the analogue of Charm++ scheduler
 /// and messaging overheads). These are what make fine-grained
 /// overdecomposition expensive — the effect that bounds the useful ODF in
 /// the paper's Figs. 7–9.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RtCosts {
     /// Scheduler cost of popping one message and locating its target
     /// chare.
@@ -42,7 +42,8 @@ impl Default for RtCosts {
 
 /// Full description of the simulated machine: topology, device timing,
 /// fabric, communication-layer and runtime costs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineConfig {
     /// Number of nodes.
     pub nodes: usize,

@@ -71,6 +71,133 @@ struct ReductionSlot {
     sum: f64,
 }
 
+/// Payload of a runtime action deferred to a later simulated instant.
+///
+/// These are the events the machine schedules on its own hot paths; the
+/// payload parks in [`Machine::deferred`] and the event carries only the
+/// slot index through the engine's closure-free fast path, so scheduling
+/// them allocates nothing in steady state. Deferred events are never
+/// cancelled, so plain index recycling (no generations) is safe.
+enum Deferred {
+    /// Local chare-to-chare delivery after `local_latency`.
+    LocalMsg { to: ChareId, env: Envelope },
+    /// A send leaving the sending entry method at its charge offset.
+    Route {
+        src_pe: usize,
+        to: ChareId,
+        env: Envelope,
+    },
+    /// Enqueue an operation on a device stream and pump the device.
+    Enqueue {
+        dev: DeviceId,
+        stream: StreamId,
+        op: Op,
+    },
+    /// Reset a CUDA-style event on a device.
+    EventReset {
+        dev: DeviceId,
+        ev: gaat_gpu::CudaEventId,
+    },
+    /// Update one kernel node of a captured graph.
+    GraphUpdate {
+        dev: DeviceId,
+        graph: GraphId,
+        node: usize,
+        spec: gaat_gpu::KernelSpec,
+    },
+    /// A reduction contribution leaving its entry method.
+    Contribute {
+        src_pe: usize,
+        reducer: u64,
+        round: u64,
+        value: f64,
+        expected: usize,
+        cb: Callback,
+    },
+    /// A two-sided UCX send issued at the entry method's charge offset.
+    Isend {
+        from: usize,
+        to_worker: usize,
+        tag: gaat_ucx::Tag,
+        loc: MemLoc,
+        user: u64,
+    },
+    /// A two-sided UCX receive posted at the entry method's charge offset.
+    Irecv {
+        me: usize,
+        from_worker: usize,
+        tag: gaat_ucx::Tag,
+        loc: MemLoc,
+        user: u64,
+    },
+}
+
+/// Fired deferred-action event: reclaims the slot, then performs the
+/// action.
+fn run_deferred(m: &mut Machine, sim: &mut Sim<Machine>, idx: u64) {
+    let d = m.deferred[idx as usize]
+        .take()
+        .expect("deferred slot empty");
+    m.deferred_free.push(idx as u32);
+    match d {
+        Deferred::LocalMsg { to, env } => m.enqueue_to_chare(sim, to, env),
+        Deferred::Route { src_pe, to, env } => m.route_msg(sim, src_pe, to, env),
+        Deferred::Enqueue { dev, stream, op } => {
+            m.devices[dev.0].enqueue(stream, op);
+            gaat_gpu::pump(m, sim, dev);
+        }
+        Deferred::EventReset { dev, ev } => m.devices[dev.0].reset_event(ev),
+        Deferred::GraphUpdate {
+            dev,
+            graph,
+            node,
+            spec,
+        } => m.devices[dev.0].update_graph_kernel(graph, node, spec),
+        Deferred::Contribute {
+            src_pe,
+            reducer,
+            round,
+            value,
+            expected,
+            cb,
+        } => {
+            let token = m.next_am;
+            m.next_am += 1;
+            m.am_store.insert(
+                token,
+                AmKind::Contribution {
+                    reducer,
+                    round,
+                    value,
+                    expected,
+                    cb,
+                },
+            );
+            // Contributions go to the root PE (PE 0).
+            gaat_ucx::am_send(m, sim, WorkerId(src_pe), WorkerId(0), 48, token);
+        }
+        Deferred::Isend {
+            from,
+            to_worker,
+            tag,
+            loc,
+            user,
+        } => gaat_ucx::isend(m, sim, WorkerId(from), WorkerId(to_worker), tag, loc, user),
+        Deferred::Irecv {
+            me,
+            from_worker,
+            tag,
+            loc,
+            user,
+        } => gaat_ucx::irecv(m, sim, WorkerId(me), WorkerId(from_worker), tag, loc, user),
+    }
+}
+
+/// Fired PE-dispatch event (the scheduled half of [`Machine::kick_pe`]).
+fn run_pe_ev(m: &mut Machine, sim: &mut Sim<Machine>, pe: u64) {
+    m.run_pe(sim, pe as usize);
+}
+
 /// Aggregate machine statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MachineStats {
@@ -106,6 +233,9 @@ pub struct Machine {
     reductions: HashMap<(u64, u64), ReductionSlot>,
     next_reducer: u64,
     next_channel: u64,
+    /// Parked payloads of scheduled runtime actions (see [`Deferred`]).
+    deferred: Vec<Option<Deferred>>,
+    deferred_free: Vec<u32>,
     /// Root RNG (split per subsystem at construction).
     pub rng: SimRng,
     /// Entry-method span recorder, one lane per PE (enabled by
@@ -146,6 +276,8 @@ impl Machine {
             reductions: HashMap::new(),
             next_reducer: 0,
             next_channel: 0,
+            deferred: Vec::new(),
+            deferred_free: Vec::new(),
             rng,
             tracer: if cfg.trace {
                 Tracer::enabled()
@@ -289,11 +421,7 @@ impl Machine {
             }
         }
         for c in locals {
-            self.enqueue_to_chare(
-                sim,
-                c,
-                Envelope::empty(entry).with_refnum(refnum),
-            );
+            self.enqueue_to_chare(sim, c, Envelope::empty(entry).with_refnum(refnum));
         }
     }
 
@@ -303,6 +431,20 @@ impl Machine {
         assert!(to_pe < self.pes.len());
         self.stats.migrations += 1;
         self.chare_pe[chare.0] = to_pe;
+    }
+
+    /// Park a deferred action, returning the slot index its event carries.
+    fn defer(&mut self, d: Deferred) -> u64 {
+        match self.deferred_free.pop() {
+            Some(i) => {
+                self.deferred[i as usize] = Some(d);
+                i as u64
+            }
+            None => {
+                self.deferred.push(Some(d));
+                (self.deferred.len() - 1) as u64
+            }
+        }
     }
 
     /// Allocate a completion-tag route.
@@ -377,9 +519,7 @@ impl Machine {
             _ => sim.now(),
         };
         self.pes[pe].dispatch_scheduled = true;
-        sim.at(at, move |m: &mut Machine, sim: &mut Sim<Machine>| {
-            m.run_pe(sim, pe);
-        });
+        sim.at_call1(at, run_pe_ev, pe as u64);
     }
 
     /// Execute at most one message on the PE and reschedule.
@@ -422,7 +562,11 @@ impl Machine {
         self.tracer.record(
             pe as u32,
             "pe",
-            if env_priority_high { "callback" } else { "entry" },
+            if env_priority_high {
+                "callback"
+            } else {
+                "entry"
+            },
             now,
             end,
         );
@@ -431,10 +575,12 @@ impl Machine {
             // whose completion unblocks it (paper Fig. 4, "sync" lane).
             self.pes[pe].blocked = true;
             let tag = self.alloc_tag(TagRoute::UnblockPe { pe, then });
-            sim.at(end, move |m: &mut Machine, sim: &mut Sim<Machine>| {
-                m.devices[dev.0].enqueue(stream, Op::marker().with_tag(tag));
-                gaat_gpu::pump(m, sim, dev);
+            let idx = self.defer(Deferred::Enqueue {
+                dev,
+                stream,
+                op: Op::marker().with_tag(tag),
             });
+            sim.at_call1(end, run_deferred, idx);
         } else if self.pes[pe].queued() > 0 {
             self.kick_pe(sim, pe);
         }
@@ -447,9 +593,8 @@ impl Machine {
         let dst_pe = self.chare_pe[to.0];
         if dst_pe == src_pe {
             let delay = self.cfg.rt.local_latency;
-            sim.after(delay, move |m: &mut Machine, sim: &mut Sim<Machine>| {
-                m.enqueue_to_chare(sim, to, env);
-            });
+            let idx = self.defer(Deferred::LocalMsg { to, env });
+            sim.after_call1(delay, run_deferred, idx);
         } else {
             let bytes = env.wire_bytes + self.cfg.rt.envelope_bytes;
             let token = self.next_am;
@@ -599,10 +744,8 @@ impl<'a> Ctx<'a> {
         self.charged += self.machine.cfg.rt.send_overhead;
         let src_pe = self.pe;
         let at = self.sim.now() + self.charged;
-        self.sim
-            .at(at, move |m: &mut Machine, sim: &mut Sim<Machine>| {
-                m.route_msg(sim, src_pe, to, env);
-            });
+        let idx = self.machine.defer(Deferred::Route { src_pe, to, env });
+        self.sim.at_call1(at, run_deferred, idx);
     }
 
     /// Enqueue a GPU operation on this PE's device, charging the CPU
@@ -625,10 +768,8 @@ impl<'a> Ctx<'a> {
     pub fn gpu_event_reset(&mut self, ev: gaat_gpu::CudaEventId) {
         let dev = self.device();
         let at = self.sim.now() + self.charged;
-        self.sim
-            .at(at, move |m: &mut Machine, _sim: &mut Sim<Machine>| {
-                m.devices[dev.0].reset_event(ev);
-            });
+        let idx = self.machine.defer(Deferred::EventReset { dev, ev });
+        self.sim.at_call1(at, run_deferred, idx);
     }
 
     /// Launch a captured graph (one cheap CPU call for the whole DAG,
@@ -645,19 +786,17 @@ impl<'a> Ctx<'a> {
     /// (`cudaGraphExecKernelNodeSetParams`), charging the per-node CPU
     /// update cost. The paper's §III-D2 alternates two pre-built graphs
     /// precisely to avoid paying this for every node every iteration.
-    pub fn update_graph_kernel(
-        &mut self,
-        graph: GraphId,
-        node: usize,
-        spec: gaat_gpu::KernelSpec,
-    ) {
+    pub fn update_graph_kernel(&mut self, graph: GraphId, node: usize, spec: gaat_gpu::KernelSpec) {
         self.charged += self.machine.cfg.gpu.graph_node_update_cpu;
         let dev = self.device();
         let at = self.sim.now() + self.charged;
-        self.sim
-            .at(at, move |m: &mut Machine, _sim: &mut Sim<Machine>| {
-                m.devices[dev.0].update_graph_kernel(graph, node, spec);
-            });
+        let idx = self.machine.defer(Deferred::GraphUpdate {
+            dev,
+            graph,
+            node,
+            spec,
+        });
+        self.sim.at_call1(at, run_deferred, idx);
     }
 
     /// HAPI-style asynchronous completion detection: when the stream
@@ -682,77 +821,69 @@ impl<'a> Ctx<'a> {
     /// Contribute to a reduction over `expected` participants; when all
     /// have contributed (for this `round`), `cb` receives the sum as an
     /// `f64` payload.
-    pub fn contribute(&mut self, reducer: u64, round: u64, value: f64, expected: usize, cb: Callback) {
+    pub fn contribute(
+        &mut self,
+        reducer: u64,
+        round: u64,
+        value: f64,
+        expected: usize,
+        cb: Callback,
+    ) {
         self.charged += self.machine.cfg.rt.send_overhead;
         let src_pe = self.pe;
         let at = self.sim.now() + self.charged;
-        self.sim
-            .at(at, move |m: &mut Machine, sim: &mut Sim<Machine>| {
-                let token = m.next_am;
-                m.next_am += 1;
-                m.am_store.insert(
-                    token,
-                    AmKind::Contribution {
-                        reducer,
-                        round,
-                        value,
-                        expected,
-                        cb,
-                    },
-                );
-                // Contributions go to the root PE (PE 0).
-                gaat_ucx::am_send(m, sim, WorkerId(src_pe), WorkerId(0), 48, token);
-            });
+        let idx = self.machine.defer(Deferred::Contribute {
+            src_pe,
+            reducer,
+            round,
+            value,
+            expected,
+            cb,
+        });
+        self.sim.at_call1(at, run_deferred, idx);
     }
 
     /// Enqueue with no extra charge (internal; charge added by callers).
     fn gpu_enqueue_at(&mut self, stream: StreamId, op: Op) {
         let dev = self.device();
         let at = self.sim.now() + self.charged;
-        self.sim
-            .at(at, move |m: &mut Machine, sim: &mut Sim<Machine>| {
-                m.devices[dev.0].enqueue(stream, op);
-                gaat_gpu::pump(m, sim, dev);
-            });
+        let idx = self.machine.defer(Deferred::Enqueue { dev, stream, op });
+        self.sim.at_call1(at, run_deferred, idx);
     }
 
     /// Issue a two-sided UCX send with explicit worker addressing. Used
     /// by the Channel API, the GPU Messaging API, and the MPI layer;
     /// applications normally go through those instead.
-    pub fn ucx_isend(
-        &mut self,
-        to_worker: usize,
-        tag: gaat_ucx::Tag,
-        loc: MemLoc,
-        cb: Callback,
-    ) {
+    pub fn ucx_isend(&mut self, to_worker: usize, tag: gaat_ucx::Tag, loc: MemLoc, cb: Callback) {
         self.charged += self.machine.cfg.rt.channel_call;
         let from = self.pe;
         let user = self.machine.alloc_ucx_route(cb);
         let at = self.sim.now() + self.charged;
-        self.sim
-            .at(at, move |m: &mut Machine, sim: &mut Sim<Machine>| {
-                gaat_ucx::isend(m, sim, WorkerId(from), WorkerId(to_worker), tag, loc, user);
-            });
+        let idx = self.machine.defer(Deferred::Isend {
+            from,
+            to_worker,
+            tag,
+            loc,
+            user,
+        });
+        self.sim.at_call1(at, run_deferred, idx);
     }
 
     /// Issue a two-sided UCX receive with explicit worker addressing.
     /// See [`Ctx::ucx_isend`].
-    pub fn ucx_irecv(
-        &mut self,
-        from_worker: usize,
-        tag: gaat_ucx::Tag,
-        loc: MemLoc,
-        cb: Callback,
-    ) {
+    pub fn ucx_irecv(&mut self, from_worker: usize, tag: gaat_ucx::Tag, loc: MemLoc, cb: Callback) {
         self.charged += self.machine.cfg.rt.channel_call;
         let me = self.pe;
         let user = self.machine.alloc_ucx_route(cb);
         let at = self.sim.now() + self.charged;
-        self.sim
-            .at(at, move |m: &mut Machine, sim: &mut Sim<Machine>| {
-                gaat_ucx::irecv(m, sim, WorkerId(me), WorkerId(from_worker), tag, loc, user);
-            });
+        let idx = self.machine.defer(Deferred::Irecv {
+            me,
+            from_worker,
+            tag,
+            loc,
+            user,
+        });
+        self.sim.at_call1(at, run_deferred, idx);
     }
 }
 
@@ -1014,7 +1145,11 @@ mod tests {
         machine.inject(sim, blocker, Envelope::empty(EntryId(0)));
         machine.inject(sim, bystander, Envelope::empty(EntryId(0)));
         s.run();
-        let ran = s.machine.chare_as::<Bystander>(bystander).ran_at.expect("ran");
+        let ran = s
+            .machine
+            .chare_as::<Bystander>(bystander)
+            .ran_at
+            .expect("ran");
         // The bystander could not run until the ~1ms kernel finished.
         assert!(ran.as_ns() > 1_000_000, "bystander ran at {ran}");
         assert!(s.machine.chare_as::<Blocker>(blocker).resumed_at.is_some());
@@ -1053,7 +1188,9 @@ mod tests {
         let mut s = Simulation::new(cfg);
         let stream = s.machine.devices[0].create_stream(0);
         let a = s.machine.create_chare(0, Box::new(AsyncUser { stream }));
-        let b = s.machine.create_chare(0, Box::new(Bystander { ran_at: None }));
+        let b = s
+            .machine
+            .create_chare(0, Box::new(Bystander { ran_at: None }));
         let Simulation { sim, machine } = &mut s;
         machine.inject(sim, a, Envelope::empty(EntryId(0)));
         machine.inject(sim, b, Envelope::empty(EntryId(0)));
@@ -1126,7 +1263,9 @@ mod tests {
         }
         let cfg = MachineConfig::validation(1, 2);
         let mut s = Simulation::new(cfg);
-        let c = s.machine.create_chare(0, Box::new(WhichPe { ran_on: vec![] }));
+        let c = s
+            .machine
+            .create_chare(0, Box::new(WhichPe { ran_on: vec![] }));
         {
             let Simulation { sim, machine } = &mut s;
             machine.inject(sim, c, Envelope::empty(EntryId(0)));

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use crate::msg::{Envelope, EntryId};
+use crate::msg::{EntryId, Envelope};
 
 /// Buffers envelopes keyed by (entry, refnum) until the owner asks for
 /// them.
@@ -36,7 +36,11 @@ impl WhenSet {
     pub fn take(&mut self, entry: EntryId, refnum: u64) -> Option<Envelope> {
         let key = (entry, refnum);
         let v = self.buffered.get_mut(&key)?;
-        let env = if v.is_empty() { None } else { Some(v.remove(0)) };
+        let env = if v.is_empty() {
+            None
+        } else {
+            Some(v.remove(0))
+        };
         if v.is_empty() {
             self.buffered.remove(&key);
         }
@@ -45,9 +49,7 @@ impl WhenSet {
 
     /// Number of buffered messages matching (entry, refnum).
     pub fn count(&self, entry: EntryId, refnum: u64) -> usize {
-        self.buffered
-            .get(&(entry, refnum))
-            .map_or(0, |v| v.len())
+        self.buffered.get(&(entry, refnum)).map_or(0, |v| v.len())
     }
 
     /// Total buffered messages.

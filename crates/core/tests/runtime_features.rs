@@ -5,7 +5,7 @@
 
 use gaat_gpu::Space;
 use gaat_rt::{
-    create_channel, gpu_msg, BufRange, Callback, Chare, ChareId, ChannelEnd, Ctx, EntryId,
+    create_channel, gpu_msg, BufRange, Callback, ChannelEnd, Chare, ChareId, Ctx, EntryId,
     Envelope, MachineConfig, MemLoc, Simulation,
 };
 use gaat_sim::SimTime;
@@ -33,7 +33,10 @@ fn broadcast_reaches_every_target_once() {
     let mut ids = Vec::new();
     for pe in 0..12 {
         for _ in 0..2 {
-            ids.push(sim.machine.create_chare(pe, Box::new(Receiver { got: vec![] })));
+            ids.push(
+                sim.machine
+                    .create_chare(pe, Box::new(Receiver { got: vec![] })),
+            );
         }
     }
     {
@@ -56,7 +59,10 @@ fn broadcast_scales_logarithmically() {
     let time_for = |nodes: usize| {
         let mut sim = Simulation::new(MachineConfig::validation(nodes, 1));
         let ids: Vec<ChareId> = (0..nodes)
-            .map(|pe| sim.machine.create_chare(pe, Box::new(Receiver { got: vec![] })))
+            .map(|pe| {
+                sim.machine
+                    .create_chare(pe, Box::new(Receiver { got: vec![] }))
+            })
             .collect();
         {
             let Simulation { sim, machine } = &mut sim;
@@ -298,7 +304,9 @@ impl Chare for RoundRoot {
 fn reduction_rounds_do_not_mix() {
     let mut sim = Simulation::new(MachineConfig::validation(2, 2));
     let reducer = sim.machine.create_reducer();
-    let root = sim.machine.create_chare(0, Box::new(RoundRoot { sums: vec![] }));
+    let root = sim
+        .machine
+        .create_chare(0, Box::new(RoundRoot { sums: vec![] }));
     let cb = Callback::to(root, E_DONE);
     let n = 4;
     let rounds = 3;

@@ -3,9 +3,7 @@
 //! mechanics every performance result in this repository rests on.
 
 use gaat_gpu::{KernelSpec, Op, StreamId};
-use gaat_rt::{
-    Callback, Chare, ChareId, Ctx, EntryId, Envelope, MachineConfig, Simulation,
-};
+use gaat_rt::{Callback, Chare, ChareId, Ctx, EntryId, Envelope, MachineConfig, Simulation};
 use gaat_sim::{SimDuration, SimTime};
 
 const E_GO: EntryId = EntryId(0);
@@ -34,7 +32,9 @@ fn kernel_launches_are_spread_by_cpu_cost() {
     machine_cfg.trace = true;
     let mut sim = Simulation::new(machine_cfg);
     let stream = sim.machine.devices[0].create_stream(0);
-    let c = sim.machine.create_chare(0, Box::new(Launcher { stream, n: 5 }));
+    let c = sim
+        .machine
+        .create_chare(0, Box::new(Launcher { stream, n: 5 }));
     {
         let Simulation { sim, machine } = &mut sim;
         machine.inject(sim, c, Envelope::empty(E_GO));
@@ -126,7 +126,9 @@ fn send_offsets_respect_program_order() {
     let mut sim = Simulation::new(MachineConfig::validation(1, 2));
     let a = sim.machine.create_chare(1, Box::new(Stamp { at: None }));
     let b = sim.machine.create_chare(1, Box::new(Stamp { at: None }));
-    let s = sim.machine.create_chare(0, Box::new(Sender { peers: vec![a, b] }));
+    let s = sim
+        .machine
+        .create_chare(0, Box::new(Sender { peers: vec![a, b] }));
     {
         let Simulation { sim, machine } = &mut sim;
         machine.inject(sim, s, Envelope::empty(E_GO));
@@ -136,7 +138,11 @@ fn send_offsets_respect_program_order() {
     let tb = sim.machine.chare_as::<Stamp>(b).at.expect("b ran");
     // b's send departed >= 20us after a's (10us vs 10+20us compute).
     assert!(tb > ta, "b at {tb} should be after a at {ta}");
-    assert!(tb.since(ta) >= SimDuration::from_us(15), "gap {}", tb.since(ta));
+    assert!(
+        tb.since(ta) >= SimDuration::from_us(15),
+        "gap {}",
+        tb.since(ta)
+    );
 }
 
 /// While a PE is blocked in a synchronous stream wait, even high-priority

@@ -289,7 +289,11 @@ impl Device {
                 self.streams[stream].in_flight = false;
                 self.fire_tag(tag);
             }
-            JobOrigin::GraphNode { instance, node, meta } => {
+            JobOrigin::GraphNode {
+                instance,
+                node,
+                meta,
+            } => {
                 self.tracer
                     .record(meta.lane, meta.category, meta.label, meta.submitted, now);
                 // Apply the node's effect, then release its children.
@@ -494,7 +498,11 @@ impl Device {
                     self.stats.memcpys += 1;
                     self.stats.memcpy_bytes += src.bytes();
                     let dur = self.timing.dma_time(src.bytes());
-                    let engine = if to_host { &mut self.d2h } else { &mut self.h2d };
+                    let engine = if to_host {
+                        &mut self.d2h
+                    } else {
+                        &mut self.h2d
+                    };
                     engine.submit(now, job, class, dur, src.bytes());
                     self.streams[s].in_flight = true;
                     progressed = true;
@@ -509,8 +517,7 @@ impl Device {
                         progressed = true;
                         continue;
                     }
-                    let indegree: Vec<usize> =
-                        spec.nodes.iter().map(|n| n.deps.len()).collect();
+                    let indegree: Vec<usize> = spec.nodes.iter().map(|n| n.deps.len()).collect();
                     let remaining = spec.len();
                     let roots = spec.roots();
                     let inst_idx = self.instances.iter().position(Option::is_none);
@@ -603,7 +610,10 @@ mod tests {
             );
         }
         let (end, tags) = drain(&mut d, t(0));
-        assert_eq!(tags, vec![CompletionTag(0), CompletionTag(1), CompletionTag(2)]);
+        assert_eq!(
+            tags,
+            vec![CompletionTag(0), CompletionTag(1), CompletionTag(2)]
+        );
         // serialized: 3 * (5us + dispatch)
         let per = SimDuration::from_us(5) + d.timing.kernel_dispatch;
         assert_eq!(end.as_ns(), 3 * per.as_ns());
@@ -614,8 +624,14 @@ mod tests {
         let mut d = dev();
         let a = d.create_stream(0);
         let b = d.create_stream(0);
-        d.enqueue(a, Op::kernel(KernelSpec::phantom("a", SimDuration::from_us(10))));
-        d.enqueue(b, Op::kernel(KernelSpec::phantom("b", SimDuration::from_us(10))));
+        d.enqueue(
+            a,
+            Op::kernel(KernelSpec::phantom("a", SimDuration::from_us(10))),
+        );
+        d.enqueue(
+            b,
+            Op::kernel(KernelSpec::phantom("b", SimDuration::from_us(10))),
+        );
         let (end, _) = drain(&mut d, t(0));
         // processor sharing: both complete at 2*(10us+dispatch) — i.e. they
         // ran concurrently, not 2x serialized with an idle device.
@@ -627,7 +643,10 @@ mod tests {
     fn marker_fires_in_order() {
         let mut d = dev();
         let s = d.create_stream(0);
-        d.enqueue(s, Op::kernel(KernelSpec::phantom("k", SimDuration::from_us(1))));
+        d.enqueue(
+            s,
+            Op::kernel(KernelSpec::phantom("k", SimDuration::from_us(1))),
+        );
         d.enqueue(s, Op::marker().with_tag(CompletionTag(9)));
         // Marker must not fire before the kernel completes.
         d.advance(t(0));
@@ -649,7 +668,10 @@ mod tests {
             Op::kernel(KernelSpec::phantom("b", SimDuration::from_us(1)))
                 .with_tag(CompletionTag(2)),
         );
-        d.enqueue(a, Op::kernel(KernelSpec::phantom("a", SimDuration::from_us(5))));
+        d.enqueue(
+            a,
+            Op::kernel(KernelSpec::phantom("a", SimDuration::from_us(5))),
+        );
         d.enqueue(a, Op::record(ev).with_tag(CompletionTag(1)));
         let (_, tags) = drain(&mut d, t(0));
         assert_eq!(tags, vec![CompletionTag(1), CompletionTag(2)]);
@@ -669,7 +691,10 @@ mod tests {
         d.enqueue(s, Op::wait(ev));
         d.enqueue(s, Op::marker().with_tag(CompletionTag(5)));
         d.advance(t(10));
-        assert!(d.drain_completions().is_empty(), "wait must block after reset");
+        assert!(
+            d.drain_completions().is_empty(),
+            "wait must block after reset"
+        );
         d.enqueue(s, Op::record(ev)); // queued behind the wait: deadlock in
                                       // real CUDA too; record from another stream instead
         let s2 = d.create_stream(0);
@@ -685,8 +710,14 @@ mod tests {
         let hbuf = d.mem.alloc_real(Space::Host, 1024);
         let s1 = d.create_stream(0);
         let s2 = d.create_stream(0);
-        d.enqueue(s1, Op::d2h(BufRange::whole(dbuf, 1024), BufRange::whole(hbuf, 1024)));
-        d.enqueue(s2, Op::h2d(BufRange::whole(hbuf, 1024), BufRange::whole(dbuf, 1024)));
+        d.enqueue(
+            s1,
+            Op::d2h(BufRange::whole(dbuf, 1024), BufRange::whole(hbuf, 1024)),
+        );
+        d.enqueue(
+            s2,
+            Op::h2d(BufRange::whole(hbuf, 1024), BufRange::whole(dbuf, 1024)),
+        );
         let (end, _) = drain(&mut d, t(0));
         // both directions in parallel: total time = one dma_time
         assert_eq!(end, SimTime::ZERO + d.timing.dma_time(8 * 1024));
@@ -701,7 +732,10 @@ mod tests {
         let hbuf = d.mem.alloc_real(Space::Host, 4);
         d.mem.write(BufRange::whole(dbuf, 4), &[1.0, 2.0, 3.0, 4.0]);
         let s = d.create_stream(0);
-        d.enqueue(s, Op::d2h(BufRange::whole(dbuf, 4), BufRange::whole(hbuf, 4)));
+        d.enqueue(
+            s,
+            Op::d2h(BufRange::whole(dbuf, 4), BufRange::whole(hbuf, 4)),
+        );
         drain(&mut d, t(0));
         assert_eq!(
             d.mem.read(BufRange::whole(hbuf, 4)).expect("real"),

@@ -215,9 +215,7 @@ impl DmaEngine {
             }
             done.push(id);
             self.completed_total += 1;
-            self.current = self
-                .pop_next()
-                .map(|j| (j.id, finish + j.duration));
+            self.current = self.pop_next().map(|j| (j.id, finish + j.duration));
         }
         self.busy.set_busy(now, self.current.is_some());
     }
@@ -307,7 +305,7 @@ mod tests {
         e.submit(t(0), 1, 0, d(1000)); // low priority
         e.advance(t(200), &mut done); // 800 left
         e.submit(t(200), 2, 3, d(300)); // high priority
-        // job 2 runs alone: completes at 500
+                                        // job 2 runs alone: completes at 500
         assert_eq!(e.next_completion(), Some(t(500)));
         e.advance(t(500), &mut done);
         assert_eq!(done, vec![2]);

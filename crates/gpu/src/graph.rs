@@ -91,12 +91,7 @@ impl GraphBuilder {
     /// # Panics
     /// Panics if a dependency references a node not yet added (which also
     /// rules out cycles by construction).
-    pub fn add(
-        &mut self,
-        kind: GraphNodeKind,
-        class: usize,
-        deps: &[NodeIndex],
-    ) -> NodeIndex {
+    pub fn add(&mut self, kind: GraphNodeKind, class: usize, deps: &[NodeIndex]) -> NodeIndex {
         let idx = self.nodes.len();
         for d in deps {
             assert!(d.0 < idx, "dependency on not-yet-added node {}", d.0);

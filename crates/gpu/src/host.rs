@@ -40,12 +40,7 @@ pub fn pump<W: GpuHost>(w: &mut W, sim: &mut Sim<W>, dev: DeviceId) {
     }
 }
 
-fn schedule_wakeup<W: GpuHost>(
-    w: &mut W,
-    sim: &mut Sim<W>,
-    dev: DeviceId,
-    wake: Option<SimTime>,
-) {
+fn schedule_wakeup<W: GpuHost>(w: &mut W, sim: &mut Sim<W>, dev: DeviceId, wake: Option<SimTime>) {
     let Some(at) = wake else { return };
     let d = w.device_mut(dev);
     // Deduplicate: only schedule if nothing is pending at or before `at`.
@@ -55,13 +50,16 @@ fn schedule_wakeup<W: GpuHost>(
         }
     }
     d.scheduled_wakeup = Some(at);
-    sim.at(at, move |w: &mut W, sim: &mut Sim<W>| {
-        let d = w.device_mut(dev);
-        if d.scheduled_wakeup == Some(sim.now()) {
-            d.scheduled_wakeup = None;
-        }
-        pump(w, sim, dev);
-    });
+    sim.at_call1(at, wakeup::<W>, dev.0 as u64);
+}
+
+fn wakeup<W: GpuHost>(w: &mut W, sim: &mut Sim<W>, dev: u64) {
+    let dev = DeviceId(dev as usize);
+    let d = w.device_mut(dev);
+    if d.scheduled_wakeup == Some(sim.now()) {
+        d.scheduled_wakeup = None;
+    }
+    pump(w, sim, dev);
 }
 
 #[cfg(test)]
@@ -141,7 +139,11 @@ mod tests {
             Op::kernel(KernelSpec::phantom("k", SimDuration::from_us(1)))
                 .with_tag(CompletionTag(0)),
         );
-        let mut w = Chain { dev, stream, hops: 0 };
+        let mut w = Chain {
+            dev,
+            stream,
+            hops: 0,
+        };
         let mut sim: Sim<Chain> = Sim::new();
         sim.soon(|w: &mut Chain, sim: &mut Sim<Chain>| pump(w, sim, DeviceId(0)));
         sim.run(&mut w);

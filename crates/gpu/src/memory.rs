@@ -6,10 +6,9 @@
 //! would never fit in host RAM). The two modes charge identical simulated
 //! time; only the data movement differs.
 
-use serde::{Deserialize, Serialize};
-
 /// Which address space a buffer lives in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Space {
     /// GPU HBM.
     Device,
@@ -18,7 +17,8 @@ pub enum Space {
 }
 
 /// Handle to a buffer in a device's [`MemoryPool`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BufferId(pub u32);
 
 /// Storage behind a buffer: real data or just a size.
@@ -83,7 +83,8 @@ impl Buffer {
 
 /// A contiguous range of elements within a buffer, the unit all copy and
 /// communication operations work on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BufRange {
     /// Which buffer.
     pub buf: BufferId,
@@ -328,7 +329,10 @@ mod tests {
         let mut m = MemoryPool::new();
         let a = m.alloc_real(Space::Device, 6);
         m.write(BufRange::new(a, 2, 3), &[1.0, 2.0, 3.0]);
-        assert_eq!(m.read(BufRange::new(a, 2, 3)).expect("real"), vec![1.0, 2.0, 3.0]);
+        assert_eq!(
+            m.read(BufRange::new(a, 2, 3)).expect("real"),
+            vec![1.0, 2.0, 3.0]
+        );
         let p = m.alloc_phantom(Space::Device, 6);
         assert!(m.read(BufRange::new(p, 0, 6)).is_none());
         m.write(BufRange::new(p, 0, 1), &[9.0]); // ignored, no panic

@@ -195,7 +195,12 @@ mod tests {
             }
         });
         (spec.func.expect("func"))(&mut mem);
-        assert!(mem.get(b).as_slice().expect("real").iter().all(|&x| x == 2.0));
+        assert!(mem
+            .get(b)
+            .as_slice()
+            .expect("real")
+            .iter()
+            .all(|&x| x == 2.0));
     }
 
     #[test]

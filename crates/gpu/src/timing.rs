@@ -7,10 +7,10 @@
 //! drives the host-staging vs. GPU-aware trade-off (Fig. 7).
 
 use gaat_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Timing model of one GPU and its host link.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GpuTimingModel {
     /// Effective HBM bandwidth in bytes/second (V100: ~900 GB/s).
     pub mem_bw: f64,

@@ -2,12 +2,12 @@
 
 use gaat_rt::MachineConfig;
 use gaat_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::geom::Dims;
 
 /// How halo data travels between blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CommMode {
     /// Application-level host staging: explicit D2H, host message, H2D
     /// (the `-H` variants in the paper).
@@ -18,7 +18,8 @@ pub enum CommMode {
 }
 
 /// Host-device synchronization scheme (paper §III-C / Fig. 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SyncMode {
     /// The original implementation: two sync points per iteration (after
     /// the update and before the halo exchange) and a single
@@ -30,7 +31,8 @@ pub enum SyncMode {
 }
 
 /// Kernel fusion strategy (paper §III-D1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Fusion {
     /// No fusion: one kernel per pack, unpack, and update.
     None,
@@ -51,7 +53,8 @@ impl Fusion {
 
 /// How graph execution handles the per-iteration in/out pointer swap
 /// (paper §III-D2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum GraphStrategy {
     /// Two captured graphs with the buffer pointers exchanged, alternated
     /// every iteration — the paper's solution.
@@ -63,7 +66,8 @@ pub enum GraphStrategy {
 }
 
 /// A full experiment description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct JacobiConfig {
     /// The machine to simulate.
     pub machine: MachineConfig,
@@ -154,7 +158,8 @@ impl JacobiConfig {
 }
 
 /// Result of one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunResult {
     /// Mean time per timed iteration (the paper's y-axis).
     pub time_per_iter: SimDuration,

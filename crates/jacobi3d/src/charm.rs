@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use gaat_gpu::{CudaEventId, GraphBuilder};
 use gaat_rt::{
-    create_channel, BufRange, BufferId, Callback, Chare, ChareId, ChannelEnd, Ctx, EntryId,
+    create_channel, BufRange, BufferId, Callback, ChannelEnd, Chare, ChareId, Ctx, EntryId,
     Envelope, GraphId, KernelSpec, MemLoc, Op, Simulation, Space, StreamId, WhenSet,
 };
 use gaat_sim::SimTime;
@@ -260,7 +260,11 @@ impl BlockChare {
         // launch a reduction kernel; the charge approximates that).
         ctx.compute(gaat_sim::SimDuration::from_us(5));
         let dev = ctx.device();
-        let local = match ctx.machine.devices[dev.0].mem.get(self.u[self.cur]).as_slice() {
+        let local = match ctx.machine.devices[dev.0]
+            .mem
+            .get(self.u[self.cur])
+            .as_slice()
+        {
             Some(s) => {
                 let d = self.dims;
                 let mut acc = 0.0;
@@ -711,10 +715,10 @@ fn build_graphs(
             .map(|&f| (f, block.halo_send_d[f.index()].expect("active")))
             .collect();
         let add = |b: &mut GraphBuilder,
-                       specs: &mut Vec<KernelSpec>,
-                       spec: KernelSpec,
-                       class: usize,
-                       deps: &[gaat_gpu::NodeIndex]| {
+                   specs: &mut Vec<KernelSpec>,
+                   spec: KernelSpec,
+                   class: usize,
+                   deps: &[gaat_gpu::NodeIndex]| {
             specs.push(spec.clone());
             b.kernel(spec, class, deps)
         };
@@ -764,11 +768,10 @@ fn build_graphs(
         }
 
         // Update depends on all unpacks.
-        let update_spec = KernelSpec::with_func(
-            "update",
-            kernels::update_work(&t, dims.count()),
-            move |m| kernels::update(m, uin, uout, dims),
-        );
+        let update_spec =
+            KernelSpec::with_func("update", kernels::update_work(&t, dims.count()), move |m| {
+                kernels::update(m, uin, uout, dims)
+            });
         let update = add(&mut b, &mut specs, update_spec, 0, &unpack_nodes);
 
         // Packs depend on the update.

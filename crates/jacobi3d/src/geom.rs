@@ -6,10 +6,9 @@
 //! process (or chare) count is factorized into a 3D grid whose block
 //! faces have the smallest total area.
 
-use serde::{Deserialize, Serialize};
-
 /// Extents in three dimensions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dims {
     /// X extent (fastest-varying in memory).
     pub x: usize,
@@ -37,7 +36,8 @@ impl Dims {
 }
 
 /// One of the six block faces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Face {
     /// −x
     Xm,
@@ -153,7 +153,8 @@ pub fn best_grid(p: usize, global: Dims) -> Dims {
 }
 
 /// A decomposition of a global grid into a 3D grid of blocks.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Decomp {
     /// Global grid extents.
     pub global: Dims,
@@ -218,15 +219,15 @@ impl Decomp {
 
     /// Neighbouring block coordinate across `face`, or `None` at the
     /// global boundary.
-    pub fn neighbor(
-        &self,
-        c: (usize, usize, usize),
-        face: Face,
-    ) -> Option<(usize, usize, usize)> {
+    pub fn neighbor(&self, c: (usize, usize, usize), face: Face) -> Option<(usize, usize, usize)> {
         let (axis, dir) = face.axis_dir();
         let mut n = [c.0 as isize, c.1 as isize, c.2 as isize];
         n[axis] += dir;
-        let lim = [self.grid.x as isize, self.grid.y as isize, self.grid.z as isize];
+        let lim = [
+            self.grid.x as isize,
+            self.grid.y as isize,
+            self.grid.z as isize,
+        ];
         if n[axis] < 0 || n[axis] >= lim[axis] {
             return None;
         }
@@ -286,11 +287,7 @@ mod tests {
         // (paper §IV-B: "at most 9 MB").
         let d = Decomp::new(Dims::cube(1536), 6);
         let dims = d.block_dims((0, 0, 0));
-        let max_face = FACES
-            .iter()
-            .map(|f| f.area(dims) * 8)
-            .max()
-            .expect("faces");
+        let max_face = FACES.iter().map(|f| f.area(dims) * 8).max().expect("faces");
         assert_eq!(max_face, 1536 * 768 * 8); // 9.4 MB
     }
 
@@ -372,7 +369,10 @@ mod tests {
             counts[pe] += 1;
         }
         assert_eq!(counts.iter().sum::<usize>(), nchares);
-        let (mn, mx) = (counts.iter().min().expect("nonempty"), counts.iter().max().expect("nonempty"));
+        let (mn, mx) = (
+            counts.iter().min().expect("nonempty"),
+            counts.iter().max().expect("nonempty"),
+        );
         assert!(mx - mn <= 1, "balanced within 1: {counts:?}");
     }
 

@@ -153,10 +153,8 @@ pub fn fused_copy_work(t: &GpuTimingModel, faces: &[usize]) -> SimDuration {
 /// unpacks + update + all packs in one launch.
 pub fn fused_all_work(t: &GpuTimingModel, cells: usize, faces: &[usize]) -> SimDuration {
     let copies: usize = faces.iter().sum::<usize>() * 2; // unpacks + packs
-    t.membound_work(
-        cells as u64 * UPDATE_BYTES_PER_CELL + copies as u64 * COPY_BYTES_PER_CELL,
-    )
-    .mul_f64(FUSED_COPY_DERATE)
+    t.membound_work(cells as u64 * UPDATE_BYTES_PER_CELL + copies as u64 * COPY_BYTES_PER_CELL)
+        .mul_f64(FUSED_COPY_DERATE)
 }
 
 #[cfg(test)]

@@ -11,8 +11,8 @@ use std::sync::Arc;
 
 use gaat_mpi::Mpi;
 use gaat_rt::{
-    BufRange, BufferId, Callback, Chare, ChareId, Ctx, EntryId, Envelope, KernelSpec, MemLoc,
-    Op, Simulation, Space, StreamId,
+    BufRange, BufferId, Callback, Chare, ChareId, Ctx, EntryId, Envelope, KernelSpec, MemLoc, Op,
+    Simulation, Space, StreamId,
 };
 use gaat_sim::SimTime;
 
@@ -191,9 +191,8 @@ impl JacobiRank {
                 self.halo_recv_d[i].expect("active"),
                 self.dims,
             );
-            let spec = KernelSpec::with_func("unpack", work, move |m| {
-                kernels::unpack(m, u, halo, d, f)
-            });
+            let spec =
+                KernelSpec::with_func("unpack", work, move |m| kernels::unpack(m, u, halo, d, f));
             ctx.launch(self.stream, Op::kernel(spec));
         }
         // The update kernel; under manual overlap only the exterior
@@ -315,7 +314,10 @@ pub fn build(cfg: JacobiConfig) -> (Simulation, Vec<ChareId>, Arc<MpiShared>) {
                 hs_h[i] = Some(device.mem.alloc(Space::Host, cells, real));
                 hr_h[i] = Some(device.mem.alloc(Space::Host, cells, real));
             }
-            neighbors[i] = Some(sh.decomp.index_of(sh.decomp.neighbor(coord, f).expect("active")));
+            neighbors[i] = Some(
+                sh.decomp
+                    .index_of(sh.decomp.neighbor(coord, f).expect("active")),
+            );
         }
         let stream = device.create_stream(1);
         pre.push(Some(Pre {
@@ -336,30 +338,36 @@ pub fn build(cfg: JacobiConfig) -> (Simulation, Vec<ChareId>, Arc<MpiShared>) {
     }
 
     let sh2 = sh.clone();
-    let ids = gaat_mpi::create_ranks(&mut sim, nranks, cfg.virtual_ranks, E_REQ, move |rank, mpi| {
-        let p = pre[rank].take().expect("one factory call per rank");
-        JacobiRank {
-            mpi,
-            sh: sh2.clone(),
-            dims: p.dims,
-            faces: p.faces,
-            neighbors: p.neighbors,
-            u: p.u,
-            cur: 0,
-            halo_send_d: p.hs_d,
-            halo_recv_d: p.hr_d,
-            halo_send_h: p.hs_h,
-            halo_recv_h: p.hr_h,
-            stream: p.stream,
-            iter: 0,
-            warm_at: if sh2.cfg.warmup == 0 {
-                Some(SimTime::ZERO)
-            } else {
-                None
-            },
-            done_at: None,
-        }
-    });
+    let ids = gaat_mpi::create_ranks(
+        &mut sim,
+        nranks,
+        cfg.virtual_ranks,
+        E_REQ,
+        move |rank, mpi| {
+            let p = pre[rank].take().expect("one factory call per rank");
+            JacobiRank {
+                mpi,
+                sh: sh2.clone(),
+                dims: p.dims,
+                faces: p.faces,
+                neighbors: p.neighbors,
+                u: p.u,
+                cur: 0,
+                halo_send_d: p.hs_d,
+                halo_recv_d: p.hr_d,
+                halo_send_h: p.hs_h,
+                halo_recv_h: p.hr_h,
+                stream: p.stream,
+                iter: 0,
+                warm_at: if sh2.cfg.warmup == 0 {
+                    Some(SimTime::ZERO)
+                } else {
+                    None
+                },
+                done_at: None,
+            }
+        },
+    );
     (sim, ids, sh)
 }
 

@@ -4,8 +4,6 @@
 //! the same update arithmetic (and operand order) as the block kernels,
 //! so validation can demand bit-exact equality.
 
-use rayon::prelude::*;
-
 use crate::geom::Dims;
 use crate::kernels::idx;
 
@@ -48,36 +46,59 @@ impl Reference {
         }
     }
 
-    /// Perform `iters` Jacobi sweeps. Parallelized over z-slabs with
-    /// Rayon; each output cell is written exactly once from the read-only
-    /// input buffer, so the result is bit-identical to the sequential
-    /// sweep.
+    /// Perform `iters` Jacobi sweeps. Parallelized over z-slabs on a
+    /// `std::thread::scope` worker pool (one contiguous band of slabs per
+    /// worker); each output cell is written exactly once from the
+    /// read-only input buffer, so the result is bit-identical to the
+    /// sequential sweep.
     pub fn run(&mut self, iters: usize) {
         let d = self.dims;
         let sx = 1usize;
         let sy = d.x + 2;
         let sz = (d.x + 2) * (d.y + 2);
+        let workers = std::thread::available_parallelism()
+            .map(|x| x.get())
+            .unwrap_or(1)
+            .min(d.z)
+            .max(1);
         for _ in 0..iters {
             let u = &self.u;
-            self.tmp
-                .par_chunks_mut(sz)
-                .enumerate()
-                .filter(|(z, _)| *z >= 1 && *z <= d.z)
-                .for_each(|(z, slab)| {
-                    for y in 1..=d.y {
-                        for x in 1..=d.x {
-                            let i = idx(d, x, y, z);
-                            let local = (y * (d.x + 2)) + x;
-                            slab[local] = (u[i - sx]
-                                + u[i + sx]
-                                + u[i - sy]
-                                + u[i + sy]
-                                + u[i - sz]
-                                + u[i + sz])
-                                / 6.0;
-                        }
+            // Hand each worker a contiguous band of z-slabs. Ghost slabs
+            // (z = 0 and z = d.z + 1) are never written.
+            std::thread::scope(|scope| {
+                let mut rest: &mut [f64] = &mut self.tmp[sz..(d.z + 1) * sz];
+                let per = d.z / workers;
+                let extra = d.z % workers;
+                let mut z0 = 1usize;
+                for w in 0..workers {
+                    let slabs = per + usize::from(w < extra);
+                    if slabs == 0 {
+                        continue;
                     }
-                });
+                    let (band, tail) = rest.split_at_mut(slabs * sz);
+                    rest = tail;
+                    let z_lo = z0;
+                    z0 += slabs;
+                    scope.spawn(move || {
+                        for (k, slab) in band.chunks_mut(sz).enumerate() {
+                            let z = z_lo + k;
+                            for y in 1..=d.y {
+                                for x in 1..=d.x {
+                                    let i = idx(d, x, y, z);
+                                    let local = (y * (d.x + 2)) + x;
+                                    slab[local] = (u[i - sx]
+                                        + u[i + sx]
+                                        + u[i - sy]
+                                        + u[i + sy]
+                                        + u[i - sz]
+                                        + u[i + sz])
+                                        / 6.0;
+                                }
+                            }
+                        }
+                    });
+                }
+            });
             std::mem::swap(&mut self.u, &mut self.tmp);
         }
     }

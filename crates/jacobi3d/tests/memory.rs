@@ -36,7 +36,10 @@ fn small_problem_footprint_is_megabytes() {
     let (sim, _ids, _sh) = charm::build(cfg);
     for d in &sim.machine.devices {
         let mb = d.device_bytes() as f64 / 1e6;
-        assert!((15.0..30.0).contains(&mb), "expected ~18-25 MB, got {mb:.1} MB");
+        assert!(
+            (15.0..30.0).contains(&mb),
+            "expected ~18-25 MB, got {mb:.1} MB"
+        );
     }
 }
 
@@ -63,7 +66,11 @@ fn odf_adds_only_ghost_overhead() {
         cfg.iters = 1;
         cfg.warmup = 0;
         let (sim, _, _) = charm::build(cfg);
-        sim.machine.devices.iter().map(|d| d.device_bytes()).sum::<u64>()
+        sim.machine
+            .devices
+            .iter()
+            .map(|d| d.device_bytes())
+            .sum::<u64>()
     };
     let odf1 = build(1);
     let odf8 = build(8);

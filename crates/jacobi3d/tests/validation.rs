@@ -172,7 +172,11 @@ fn all_variants_agree_on_checksum() {
     checksums.push(validate_mpi(c));
 
     for w in checksums.windows(2) {
-        assert_eq!(w[0].to_bits(), w[1].to_bits(), "checksums must be identical");
+        assert_eq!(
+            w[0].to_bits(),
+            w[1].to_bits(),
+            "checksums must be identical"
+        );
     }
     assert!(checksums[0].is_finite() && checksums[0] > 0.0);
 }
@@ -239,10 +243,7 @@ fn reduced_norm_matches_reference() {
 fn reduced_norm_in_phantom_mode_is_zero_but_flows() {
     // At scale the reduction still exercises the full path; the value is
     // just 0 because no real data exists.
-    let mut cfg = JacobiConfig::new(
-        gaat_rt::MachineConfig::summit(2),
-        Dims::cube(96),
-    );
+    let mut cfg = JacobiConfig::new(gaat_rt::MachineConfig::summit(2), Dims::cube(96));
     cfg.comm = CommMode::GpuAware;
     cfg.odf = 2;
     cfg.iters = 3;

@@ -116,7 +116,10 @@ impl Mpi {
         let remaining = self.outstanding.len();
         if remaining == 0 {
             let me = ctx.me();
-            ctx.send(me, Envelope::empty(resume).with_refnum(refnum).high_priority());
+            ctx.send(
+                me,
+                Envelope::empty(resume).with_refnum(refnum).high_priority(),
+            );
         } else {
             self.wait = Some(Waiting {
                 remaining,
@@ -140,7 +143,10 @@ impl Mpi {
                 let Waiting { resume, refnum, .. } = self.wait.take().expect("present");
                 self.outstanding.retain(|_, done| !*done);
                 let me = ctx.me();
-                ctx.send(me, Envelope::empty(resume).with_refnum(refnum).high_priority());
+                ctx.send(
+                    me,
+                    Envelope::empty(resume).with_refnum(refnum).high_priority(),
+                );
             }
         }
     }
@@ -260,9 +266,7 @@ mod tests {
                 range: gaat_rt::BufRange::whole(b, 128),
             };
             // Direct state surgery during setup (chares are not running).
-            let any: &mut dyn std::any::Any = sim
-                .machine
-                .chare_for_setup(id);
+            let any: &mut dyn std::any::Any = sim.machine.chare_for_setup(id);
             let ex = any.downcast_mut::<Exchange>().expect("type");
             ex.sbuf = Some(loc(sbuf));
             ex.rbuf = Some(loc(rbuf));
@@ -300,11 +304,7 @@ mod tests {
         start_all(&mut sim, &ranks, E_START);
         assert_eq!(sim.run(), RunOutcome::Drained);
         for &r in &ranks {
-            assert!(sim
-                .machine
-                .chare_as::<Exchange>(r)
-                .finished_at
-                .is_some());
+            assert!(sim.machine.chare_as::<Exchange>(r).finished_at.is_some());
         }
     }
 
@@ -325,7 +325,10 @@ mod tests {
             }
         }
         let mut sim = Simulation::new(MachineConfig::validation(1, 1));
-        let ranks = create_ranks(&mut sim, 1, 1, E_REQ, |_r, mpi| Trivial { mpi, done: false });
+        let ranks = create_ranks(&mut sim, 1, 1, E_REQ, |_r, mpi| Trivial {
+            mpi,
+            done: false,
+        });
         start_all(&mut sim, &ranks, E_START);
         sim.run();
         assert!(sim.machine.chare_as::<Trivial>(ranks[0]).done);
@@ -350,8 +353,10 @@ mod tests {
                         }
                         if self.phase < 2 {
                             let partner = 1 - self.mpi.rank;
-                            self.mpi.irecv(ctx, partner, self.phase as u64, self.rbuf.expect("b"));
-                            self.mpi.isend(ctx, partner, self.phase as u64, self.sbuf.expect("b"));
+                            self.mpi
+                                .irecv(ctx, partner, self.phase as u64, self.rbuf.expect("b"));
+                            self.mpi
+                                .isend(ctx, partner, self.phase as u64, self.sbuf.expect("b"));
                             self.mpi.wait_all(ctx, E_DONE, self.phase as u64);
                         }
                     }

@@ -17,14 +17,15 @@
 #![warn(missing_docs)]
 
 use gaat_sim::{Sim, SimDuration, SimRng, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a machine node (which hosts several PEs/GPUs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub usize);
 
 /// Calibration constants of the fabric.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetParams {
     /// Base one-way latency between nodes (host memory to host memory).
     pub inter_latency: SimDuration,
@@ -109,6 +110,10 @@ pub struct Fabric {
     nics: Vec<Nic>,
     rng: SimRng,
     stats: NetStats,
+    /// In-flight messages parked until their delivery event fires; slots
+    /// are recycled so steady-state sends allocate nothing.
+    in_flight: Vec<NetMsg>,
+    in_flight_free: Vec<u32>,
 }
 
 impl Fabric {
@@ -119,7 +124,29 @@ impl Fabric {
             nics: vec![Nic::default(); nodes],
             rng,
             stats: NetStats::default(),
+            in_flight: Vec::new(),
+            in_flight_free: Vec::new(),
         }
+    }
+
+    /// Park an in-flight message; its index rides in the delivery event.
+    fn stash(&mut self, msg: NetMsg) -> u32 {
+        match self.in_flight_free.pop() {
+            Some(i) => {
+                self.in_flight[i as usize] = msg;
+                i
+            }
+            None => {
+                self.in_flight.push(msg);
+                (self.in_flight.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Reclaim a parked message at delivery.
+    fn unstash(&mut self, idx: u32) -> NetMsg {
+        self.in_flight_free.push(idx);
+        self.in_flight[idx as usize]
     }
 
     /// Number of nodes.
@@ -183,12 +210,18 @@ pub trait NetHost: Sized + 'static {
 }
 
 /// Send a message: computes its delivery time against current NIC state
-/// and schedules the delivery callback.
+/// and schedules the delivery callback. The message parks in the fabric's
+/// in-flight slab and the event carries only its index (closure-free).
 pub fn send<W: NetHost>(w: &mut W, sim: &mut Sim<W>, msg: NetMsg) {
-    let at = w.fabric_mut().commit(sim.now(), &msg);
-    sim.at(at, move |w: &mut W, sim: &mut Sim<W>| {
-        w.on_net_deliver(sim, msg);
-    });
+    let fabric = w.fabric_mut();
+    let at = fabric.commit(sim.now(), &msg);
+    let idx = fabric.stash(msg);
+    sim.at_call1(at, deliver::<W>, idx as u64);
+}
+
+fn deliver<W: NetHost>(w: &mut W, sim: &mut Sim<W>, idx: u64) {
+    let msg = w.fabric_mut().unstash(idx as u32);
+    w.on_net_deliver(sim, msg);
 }
 
 #[cfg(test)]

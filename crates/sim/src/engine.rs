@@ -1,51 +1,160 @@
 //! The discrete-event engine.
 //!
-//! [`Sim<W>`] owns a priority queue of timestamped events. An event is a
-//! boxed `FnOnce(&mut W, &mut Sim<W>)` closure over the world type `W`
-//! chosen by the embedding application (the runtime crate uses its
-//! `Machine`). Events at equal timestamps fire in scheduling order (a
-//! monotonically increasing sequence number breaks ties), which makes every
-//! run bit-deterministic.
+//! [`Sim<W>`] owns the pending-event set for a world type `W` chosen by
+//! the embedding application (the runtime crate uses its `Machine`).
+//! Events at equal timestamps fire in scheduling order (a monotonically
+//! increasing sequence number breaks ties), which makes every run
+//! bit-deterministic.
+//!
+//! # Internals
+//!
+//! The pending set is built for zero steady-state allocation and O(1)
+//! common-case scheduling:
+//!
+//! - **Slab arena.** Every scheduled event lives in a slot of a `Vec`
+//!   backed slab with an intrusive free list; slots are recycled, so the
+//!   steady state allocates nothing. [`EventId`] packs the slot index
+//!   with a per-slot generation counter, so a stale id (the event fired
+//!   or was cancelled, and the slot was reused) can never touch the
+//!   wrong event. Cancellation just marks the slot — O(1), no queue
+//!   surgery, no tombstone set.
+//!
+//! - **Two-tier queue.** Tier 0 is a FIFO ring holding the events of
+//!   the *current instant* in seq order; `soon()` and same-timestamp
+//!   bursts append and pop at O(1). Tier 1 is a timer wheel of
+//!   [`BUCKETS`] power-of-two-width buckets covering a rolling horizon
+//!   of `BUCKETS << BUCKET_SHIFT` ns, with a `BinaryHeap` overflow for
+//!   events beyond the horizon. Advancing to the next instant scans a
+//!   hierarchical occupancy bitmap for the first nonempty bucket,
+//!   extracts everything at the minimum timestamp (from the bucket and
+//!   the overflow top, either of which may hold it), sorts that batch
+//!   by seq, and refills the ring.
+//!
+//! - **Closure-free fast path.** The dominant runtime events (message
+//!   delivery, kernel/DMA completion, progress ticks) are plain
+//!   functions plus one or two integer payload words. The
+//!   `*_call0/1/2` scheduling entry points store a bare `fn` pointer
+//!   and the words inline in the slot — no `Box`, no vtable. Capturing
+//!   closures still work through the original [`Sim::at`] family as a
+//!   general fallback.
+//!
+//! Determinism is unchanged from the original heap engine: the firing
+//! order is exactly lexicographic `(time, seq)`. The ring is sorted by
+//! seq because fresh seqs are globally increasing and batches are
+//! seq-sorted on extraction; a bucket always holds a single absolute
+//! bucket's worth of times (the horizon invariant `at >> BUCKET_SHIFT <
+//! base + BUCKETS` is preserved as `now` advances because pending times
+//! never precede `now`); and the overflow top is compared against the
+//! wheel minimum on every advance, so far-future events that have
+//! drifted inside the horizon still fire at the right instant.
 //!
 //! The engine is deliberately single-threaded: determinism and
 //! reproducibility of the *simulated* machine matter far more here than
 //! wall-clock parallelism of one run. Parallelism lives one level up, in
 //! the benchmark harness, which runs many independent simulations on a
-//! Rayon pool.
+//! thread pool.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::{SimDuration, SimTime};
 
+/// Log2 of the bucket width in ns. Kept at 0 — one bucket per
+/// nanosecond — so a bucket is exactly one instant: the advance path
+/// drains whole buckets with no per-instant rescans, and the minimum
+/// timestamp of a bucket is just its first entry's.
+const BUCKET_SHIFT: u32 = 0;
+/// Number of wheel buckets (power of two). Horizon = BUCKETS << BUCKET_SHIFT
+/// = ~65 us, which covers the runtime's dominant delays (same-instant
+/// callbacks, sub-us hops, network latencies, short kernels); events
+/// further out wait in the overflow heap until their instant arrives.
+const BUCKETS: usize = 65536;
+/// Words in the bucket-occupancy bitmap.
+const OCC_WORDS: usize = BUCKETS / 64;
+
 /// Identifier of a scheduled event, usable to cancel it before it fires.
+///
+/// Packs a slab slot index with that slot's generation; ids held past
+/// the event's firing (or cancellation) go stale and are ignored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
+
+impl EventId {
+    #[inline]
+    fn pack(idx: u32, generation: u32) -> Self {
+        EventId(((generation as u64) << 32) | idx as u64)
+    }
+
+    #[inline]
+    fn idx(self) -> u32 {
+        self.0 as u32
+    }
+
+    #[inline]
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// Boxed event closure over the world type `W`.
 pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
 
-struct Entry<W> {
-    at: SimTime,
-    seq: u64,
-    f: EventFn<W>,
+/// What runs when an event fires. `Call0/1/2` are the closure-free fast
+/// path: a bare `fn` pointer plus payload words, stored inline.
+enum EventKind<W> {
+    /// Slot is on the free list.
+    Vacant,
+    /// Event was cancelled; the slot is freed when the queue reaches it.
+    Cancelled,
+    /// General fallback: a boxed capturing closure.
+    Closure(EventFn<W>),
+    /// Plain function, no payload.
+    Call0(fn(&mut W, &mut Sim<W>)),
+    /// Plain function plus one payload word.
+    Call1(fn(&mut W, &mut Sim<W>, u64), u64),
+    /// Plain function plus two payload words.
+    Call2(fn(&mut W, &mut Sim<W>, u64, u64), u64, u64),
 }
 
-impl<W> PartialEq for Entry<W> {
+impl<W> EventKind<W> {
+    #[inline]
+    fn is_live(&self) -> bool {
+        !matches!(self, EventKind::Vacant | EventKind::Cancelled)
+    }
+}
+
+/// One slab slot. `next_free` threads the free list through vacant slots.
+struct Slot<W> {
+    generation: u32,
+    next_free: u32,
+    seq: u64,
+    at: SimTime,
+    kind: EventKind<W>,
+}
+
+const NO_SLOT: u32 = u32::MAX;
+
+/// Overflow-heap entry: plain data, ordered by `(at, seq)` inverted so
+/// the `BinaryHeap` max-heap pops the earliest first.
+struct OvEntry {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for OvEntry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<W> Eq for Entry<W> {}
-impl<W> PartialOrd for Entry<W> {
+impl Eq for OvEntry {}
+impl PartialOrd for OvEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<W> Ord for Entry<W> {
+impl Ord for OvEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
         (other.at, other.seq).cmp(&(self.at, self.seq))
     }
 }
@@ -65,12 +174,32 @@ pub enum RunOutcome {
 /// A deterministic discrete-event simulator over world type `W`.
 pub struct Sim<W> {
     now: SimTime,
-    queue: BinaryHeap<Entry<W>>,
     next_seq: u64,
-    cancelled: HashSet<u64>,
     executed: u64,
     stop: bool,
     event_limit: u64,
+    /// Live (scheduled, not yet fired or cancelled) event count.
+    live: usize,
+    peak_pending: usize,
+
+    // Slab arena.
+    slots: Vec<Slot<W>>,
+    free_head: u32,
+
+    // Tier 0: the current instant's events, slot indices in seq order.
+    ring: VecDeque<u32>,
+    /// Timestamp shared by every entry in `ring`.
+    ring_at: SimTime,
+
+    // Tier 1: timer wheel + occupancy bitmap + far-future overflow.
+    buckets: Vec<Vec<u32>>,
+    occ: Vec<u64>,
+    /// Total entries currently in wheel buckets (live or cancelled).
+    wheel_len: usize,
+    overflow: BinaryHeap<OvEntry>,
+
+    /// Reused batch buffer for `(seq, slot)` extraction at one instant.
+    scratch: Vec<(u64, u32)>,
 }
 
 impl<W> Default for Sim<W> {
@@ -84,12 +213,21 @@ impl<W> Sim<W> {
     pub fn new() -> Self {
         Sim {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: HashSet::new(),
             executed: 0,
             stop: false,
             event_limit: u64::MAX,
+            live: 0,
+            peak_pending: 0,
+            slots: Vec::new(),
+            free_head: NO_SLOT,
+            ring: VecDeque::new(),
+            ring_at: SimTime::ZERO,
+            buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            occ: vec![0; OCC_WORDS],
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -112,25 +250,93 @@ impl<W> Sim<W> {
         self.executed
     }
 
-    /// Number of events currently pending (including cancelled tombstones).
+    /// Number of live events currently pending. Cancelled events leave
+    /// this count immediately, even though their slots are reclaimed
+    /// lazily as the queue reaches them.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.live
+    }
+
+    /// High-water mark of the live pending-event count over the whole run.
+    #[inline]
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    // ----- slab -----
+
+    #[inline]
+    fn alloc(&mut self, at: SimTime, seq: u64, kind: EventKind<W>) -> (u32, u32) {
+        if self.free_head != NO_SLOT {
+            let idx = self.free_head;
+            let slot = &mut self.slots[idx as usize];
+            self.free_head = slot.next_free;
+            slot.next_free = NO_SLOT;
+            slot.seq = seq;
+            slot.at = at;
+            slot.kind = kind;
+            (idx, slot.generation)
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot {
+                generation: 0,
+                next_free: NO_SLOT,
+                seq,
+                at,
+                kind,
+            });
+            (idx, 0)
+        }
+    }
+
+    /// Return a slot to the free list, bumping its generation so stale
+    /// [`EventId`]s can never reach the next occupant.
+    #[inline]
+    fn free(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        slot.kind = EventKind::Vacant;
+        slot.generation = slot.generation.wrapping_add(1);
+        slot.next_free = self.free_head;
+        self.free_head = idx;
+    }
+
+    // ----- scheduling -----
+
+    fn schedule(&mut self, at: SimTime, kind: EventKind<W>) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let (idx, generation) = self.alloc(at, seq, kind);
+        if at == self.now && (self.ring.is_empty() || self.ring_at == self.now) {
+            // Current instant: straight onto the ring. Fresh seqs are
+            // globally increasing, so appending keeps the ring seq-sorted.
+            self.ring_at = self.now;
+            self.ring.push_back(idx);
+        } else {
+            let abs = at.as_ns() >> BUCKET_SHIFT;
+            let base = self.now.as_ns() >> BUCKET_SHIFT;
+            if abs - base < BUCKETS as u64 {
+                let bi = (abs & (BUCKETS as u64 - 1)) as usize;
+                self.buckets[bi].push(idx);
+                self.occ[bi / 64] |= 1u64 << (bi % 64);
+                self.wheel_len += 1;
+            } else {
+                self.overflow.push(OvEntry { at, seq, slot: idx });
+            }
+        }
+        self.live += 1;
+        if self.live > self.peak_pending {
+            self.peak_pending = self.live;
+        }
+        EventId::pack(idx, generation)
     }
 
     /// Schedule `f` to run at absolute time `at`. Times in the past are
     /// clamped to "now" (the event still runs, after already-queued events
     /// at the current instant).
     pub fn at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) -> EventId {
-        let at = at.max(self.now);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.queue.push(Entry {
-            at,
-            seq,
-            f: Box::new(f),
-        });
-        EventId(seq)
+        self.schedule(at, EventKind::Closure(Box::new(f)))
     }
 
     /// Schedule `f` to run `delay` after the current time.
@@ -148,10 +354,83 @@ impl<W> Sim<W> {
         self.at(self.now, f)
     }
 
+    /// Closure-free fast path: schedule a plain function at `at`.
+    pub fn at_call0(&mut self, at: SimTime, f: fn(&mut W, &mut Sim<W>)) -> EventId {
+        self.schedule(at, EventKind::Call0(f))
+    }
+
+    /// Closure-free fast path: schedule a plain function plus one payload
+    /// word at `at`.
+    pub fn at_call1(&mut self, at: SimTime, f: fn(&mut W, &mut Sim<W>, u64), a: u64) -> EventId {
+        self.schedule(at, EventKind::Call1(f, a))
+    }
+
+    /// Closure-free fast path: schedule a plain function plus two payload
+    /// words at `at`.
+    pub fn at_call2(
+        &mut self,
+        at: SimTime,
+        f: fn(&mut W, &mut Sim<W>, u64, u64),
+        a: u64,
+        b: u64,
+    ) -> EventId {
+        self.schedule(at, EventKind::Call2(f, a, b))
+    }
+
+    /// [`Sim::at_call0`] relative to the current time.
+    pub fn after_call0(&mut self, delay: SimDuration, f: fn(&mut W, &mut Sim<W>)) -> EventId {
+        self.at_call0(self.now + delay, f)
+    }
+
+    /// [`Sim::at_call1`] relative to the current time.
+    pub fn after_call1(
+        &mut self,
+        delay: SimDuration,
+        f: fn(&mut W, &mut Sim<W>, u64),
+        a: u64,
+    ) -> EventId {
+        self.at_call1(self.now + delay, f, a)
+    }
+
+    /// [`Sim::at_call2`] relative to the current time.
+    pub fn after_call2(
+        &mut self,
+        delay: SimDuration,
+        f: fn(&mut W, &mut Sim<W>, u64, u64),
+        a: u64,
+        b: u64,
+    ) -> EventId {
+        self.at_call2(self.now + delay, f, a, b)
+    }
+
+    /// [`Sim::at_call0`] at the current instant.
+    pub fn soon_call0(&mut self, f: fn(&mut W, &mut Sim<W>)) -> EventId {
+        self.at_call0(self.now, f)
+    }
+
+    /// [`Sim::at_call1`] at the current instant.
+    pub fn soon_call1(&mut self, f: fn(&mut W, &mut Sim<W>, u64), a: u64) -> EventId {
+        self.at_call1(self.now, f, a)
+    }
+
+    /// [`Sim::at_call2`] at the current instant.
+    pub fn soon_call2(&mut self, f: fn(&mut W, &mut Sim<W>, u64, u64), a: u64, b: u64) -> EventId {
+        self.at_call2(self.now, f, a, b)
+    }
+
     /// Cancel a previously scheduled event. Cancelling an event that
-    /// already fired (or was already cancelled) is a no-op.
+    /// already fired (or was already cancelled) is a no-op: the id has
+    /// gone stale and no longer matches its slot's generation.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        let idx = id.idx() as usize;
+        if let Some(slot) = self.slots.get_mut(idx) {
+            if slot.generation == id.generation() && slot.kind.is_live() {
+                // Drop the payload now (releases captured resources);
+                // the slot itself is reclaimed when the queue reaches it.
+                slot.kind = EventKind::Cancelled;
+                self.live -= 1;
+            }
+        }
     }
 
     /// Ask the run loop to return after the current event completes.
@@ -159,20 +438,150 @@ impl<W> Sim<W> {
         self.stop = true;
     }
 
+    // ----- queue advance -----
+
+    /// First occupied bucket in circular order starting at `start`, or
+    /// `None` if the wheel is empty.
+    fn next_occupied(&self, start: usize) -> Option<usize> {
+        let start = start & (BUCKETS - 1);
+        let mut word = start / 64;
+        let mut w = self.occ[word] & (!0u64 << (start % 64));
+        for _ in 0..=OCC_WORDS {
+            if w != 0 {
+                return Some(word * 64 + w.trailing_zeros() as usize);
+            }
+            word = (word + 1) % OCC_WORDS;
+            w = self.occ[word];
+        }
+        None
+    }
+
+    /// Earliest timestamp in the wheel and its bucket index. With
+    /// one-instant buckets every entry in a bucket shares its timestamp,
+    /// so this is one bitmap scan plus one slot read — no bucket scan.
+    /// Cancelled entries keep their `at` until reclaimed, so they are
+    /// counted here and skipped cheaply at ring pop.
+    fn wheel_min(&mut self) -> Option<(usize, SimTime)> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let start = ((self.now.as_ns() >> BUCKET_SHIFT) as usize) & (BUCKETS - 1);
+        let bi = self.next_occupied(start).expect("wheel_len > 0");
+        let first = self.buckets[bi][0];
+        Some((bi, self.slots[first as usize].at))
+    }
+
+    /// Earliest live overflow timestamp, popping cancelled tops.
+    fn overflow_min(&mut self) -> Option<SimTime> {
+        while let Some(top) = self.overflow.peek() {
+            if self.slots[top.slot as usize].kind.is_live() {
+                return Some(top.at);
+            }
+            let dead = self.overflow.pop().expect("peeked entry vanished");
+            self.free(dead.slot);
+        }
+        None
+    }
+
+    /// Move every event at the next live instant onto the ring. Returns
+    /// false if nothing is pending. Does not touch `now`; the clock
+    /// advances only when an event executes (in [`Sim::step`]).
+    fn advance(&mut self) -> bool {
+        debug_assert!(self.ring.is_empty());
+        let wheel = self.wheel_min();
+        let over = self.overflow_min();
+        let t = match (wheel, over) {
+            (Some((_, wt)), Some(ot)) => wt.min(ot),
+            (Some((_, wt)), None) => wt,
+            (None, Some(ot)) => ot,
+            (None, None) => return false,
+        };
+        let over_tie = over == Some(t);
+        if !over_tie {
+            // Common case: the instant lives entirely in one bucket.
+            // Bucket pushes happen in schedule order and seqs increase
+            // globally, so the bucket is already seq-sorted — move it
+            // straight onto the ring without touching the slots.
+            let (bi, _) = wheel.expect("no overflow tie implies a wheel hit");
+            self.wheel_len -= self.buckets[bi].len();
+            self.ring_at = t;
+            for s in self.buckets[bi].drain(..) {
+                self.ring.push_back(s);
+            }
+            self.occ[bi / 64] &= !(1u64 << (bi % 64));
+            return !self.ring.is_empty();
+        }
+        self.scratch.clear();
+        if let Some((bi, wt)) = wheel {
+            if wt == t {
+                // One-instant buckets: drain the whole bucket. Cancelled
+                // entries ride along and are reclaimed at ring pop.
+                self.wheel_len -= self.buckets[bi].len();
+                for s in self.buckets[bi].drain(..) {
+                    self.scratch.push((self.slots[s as usize].seq, s));
+                }
+                self.occ[bi / 64] &= !(1u64 << (bi % 64));
+            }
+        }
+        while let Some(top) = self.overflow.peek() {
+            if top.at != t {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked entry vanished");
+            if self.slots[e.slot as usize].kind.is_live() {
+                self.scratch.push((e.seq, e.slot));
+            } else {
+                self.free(e.slot);
+            }
+        }
+        // Restore the total (time, seq) order within the instant.
+        self.scratch.sort_unstable();
+        self.ring_at = t;
+        for &(_, s) in &self.scratch {
+            self.ring.push_back(s);
+        }
+        !self.ring.is_empty()
+    }
+
     /// Execute a single event if one is pending; returns whether an event
     /// ran. Cancelled events are skipped silently.
     pub fn step(&mut self, world: &mut W) -> bool {
-        while let Some(entry) = self.queue.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+        loop {
+            let idx = match self.ring.pop_front() {
+                Some(idx) => idx,
+                None => {
+                    if !self.advance() {
+                        return false;
+                    }
+                    continue;
+                }
+            };
+            let kind = std::mem::replace(&mut self.slots[idx as usize].kind, EventKind::Vacant);
+            debug_assert!(self.ring_at >= self.now, "time went backwards");
+            match kind {
+                EventKind::Vacant => unreachable!("vacant slot on the ring"),
+                EventKind::Cancelled => {
+                    self.free(idx);
+                    continue;
+                }
+                live => {
+                    self.now = self.ring_at;
+                    self.executed += 1;
+                    self.live -= 1;
+                    // Free before dispatch so the slot is reusable and the
+                    // event's own id is stale during its callback.
+                    self.free(idx);
+                    match live {
+                        EventKind::Closure(f) => f(world, self),
+                        EventKind::Call0(f) => f(world, self),
+                        EventKind::Call1(f, a) => f(world, self, a),
+                        EventKind::Call2(f, a, b) => f(world, self, a, b),
+                        EventKind::Vacant | EventKind::Cancelled => unreachable!(),
+                    }
+                    return true;
+                }
             }
-            debug_assert!(entry.at >= self.now, "time went backwards");
-            self.now = entry.at;
-            self.executed += 1;
-            (entry.f)(world, self);
-            return true;
         }
-        false
     }
 
     /// Run until the queue drains, [`Sim::stop`] is called, or the event
@@ -220,15 +629,43 @@ impl<W> Sim<W> {
 
     /// Timestamp of the next live (non-cancelled) pending event.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.queue.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let entry = self.queue.pop().expect("peeked entry vanished");
-                self.cancelled.remove(&entry.seq);
-                continue;
+        // Clean cancelled entries off the ring front.
+        while let Some(&idx) = self.ring.front() {
+            if self.slots[idx as usize].kind.is_live() {
+                return Some(self.ring_at);
             }
-            return Some(entry.at);
+            self.ring.pop_front();
+            self.free(idx);
         }
-        None
+        loop {
+            let wheel = self.wheel_min();
+            let over = self.overflow_min();
+            let (t, wheel_bi) = match (wheel, over) {
+                (Some((bi, wt)), Some(ot)) if wt <= ot => (wt, Some(bi)),
+                (_, Some(ot)) => (ot, None),
+                (Some((bi, wt)), None) => (wt, Some(bi)),
+                (None, None) => return None,
+            };
+            if let Some(bi) = wheel_bi {
+                let all_dead = !self.buckets[bi]
+                    .iter()
+                    .any(|&s| self.slots[s as usize].kind.is_live());
+                if all_dead {
+                    // A live overflow entry can share the instant with a
+                    // fully cancelled bucket; the instant is then live.
+                    if over == Some(t) {
+                        return Some(t);
+                    }
+                    self.wheel_len -= self.buckets[bi].len();
+                    while let Some(s) = self.buckets[bi].pop() {
+                        self.free(s);
+                    }
+                    self.occ[bi / 64] &= !(1u64 << (bi % 64));
+                    continue;
+                }
+            }
+            return Some(t);
+        }
     }
 }
 
@@ -311,10 +748,13 @@ mod tests {
         sim.after(d(100), |w: &mut World, sim: &mut Sim<World>| {
             w.push(1);
             // Scheduling "in the past" runs at the current instant.
-            sim.at(SimTime::from_ns(10), |w: &mut World, sim: &mut Sim<World>| {
-                w.push(2);
-                assert_eq!(sim.now(), SimTime::from_ns(100));
-            });
+            sim.at(
+                SimTime::from_ns(10),
+                |w: &mut World, sim: &mut Sim<World>| {
+                    w.push(2);
+                    assert_eq!(sim.now(), SimTime::from_ns(100));
+                },
+            );
         });
         sim.run(&mut w);
         assert_eq!(w, vec![1, 2]);
@@ -386,5 +826,93 @@ mod tests {
         sim.after(d(9), |_: &mut World, _| {});
         sim.cancel(id);
         assert_eq!(sim.peek_time(), Some(SimTime::from_ns(9)));
+    }
+
+    #[test]
+    fn fast_path_interleaves_with_closures_in_seq_order() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        fn push1(w: &mut World, _: &mut Sim<World>, a: u64) {
+            w.push(a as u32);
+        }
+        fn push2(w: &mut World, _: &mut Sim<World>, a: u64, b: u64) {
+            w.push((a + b) as u32);
+        }
+        sim.after_call1(d(10), push1, 1);
+        sim.after(d(10), |w: &mut World, _| w.push(2));
+        sim.after_call2(d(10), push2, 1, 2);
+        sim.after_call0(d(5), |w: &mut World, _| w.push(0));
+        sim.run(&mut w);
+        assert_eq!(w, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn slots_are_recycled_and_stale_ids_stay_dead() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        let a = sim.after(d(1), |w: &mut World, _| w.push(1));
+        sim.run(&mut w);
+        // The slot is recycled for the next event; the stale id must not
+        // cancel the new occupant.
+        let b = sim.after(d(1), |w: &mut World, _| w.push(2));
+        assert_eq!(a.idx(), b.idx());
+        assert_ne!(a.generation(), b.generation());
+        sim.cancel(a);
+        sim.run(&mut w);
+        assert_eq!(w, vec![1, 2]);
+    }
+
+    #[test]
+    fn far_future_events_cross_the_wheel_horizon() {
+        // Events far beyond the wheel horizon (overflow heap) must still
+        // interleave correctly with near events and same-time ties.
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        let horizon = (BUCKETS as u64) << BUCKET_SHIFT;
+        sim.at(SimTime::from_ns(3 * horizon), |w: &mut World, _| w.push(4));
+        sim.at(SimTime::from_ns(2 * horizon + 7), |w: &mut World, _| {
+            w.push(2)
+        });
+        sim.at(SimTime::from_ns(2 * horizon + 7), |w: &mut World, _| {
+            w.push(3)
+        });
+        sim.at(SimTime::from_ns(5), |w: &mut World, _| w.push(1));
+        sim.run(&mut w);
+        assert_eq!(w, vec![1, 2, 3, 4]);
+        assert_eq!(sim.now(), SimTime::from_ns(3 * horizon));
+    }
+
+    #[test]
+    fn pending_reports_live_events_only() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        let a = sim.after(d(1), |_: &mut World, _| {});
+        sim.after(d(2), |_: &mut World, _| {});
+        sim.after(d(3), |_: &mut World, _| {});
+        assert_eq!(sim.pending(), 3);
+        sim.cancel(a);
+        assert_eq!(sim.pending(), 2, "cancelled events are not pending");
+        assert_eq!(sim.peak_pending(), 3);
+        sim.step(&mut w);
+        assert_eq!(sim.pending(), 1);
+        sim.run(&mut w);
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.events_executed(), 2);
+    }
+
+    #[test]
+    fn cancel_overflow_and_bucket_entries() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        let horizon = (BUCKETS as u64) << BUCKET_SHIFT;
+        let far = sim.at(SimTime::from_ns(2 * horizon), |w: &mut World, _| w.push(99));
+        let near = sim.at(SimTime::from_ns(50), |w: &mut World, _| w.push(98));
+        sim.at(SimTime::from_ns(60), |w: &mut World, _| w.push(1));
+        sim.cancel(far);
+        sim.cancel(near);
+        assert_eq!(sim.peek_time(), Some(SimTime::from_ns(60)));
+        sim.run(&mut w);
+        assert_eq!(w, vec![1]);
+        assert_eq!(sim.pending(), 0);
     }
 }

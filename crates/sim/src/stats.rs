@@ -4,12 +4,11 @@
 //! runtime models to report utilization, latency distributions, and
 //! per-iteration timings.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::{SimDuration, SimTime};
 
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Accumulator {
     n: u64,
     mean: f64,
@@ -103,8 +102,7 @@ impl Accumulator {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -117,7 +115,8 @@ impl Accumulator {
 ///
 /// Call [`BusyTracker::set_busy`] on every busy/idle transition; at the end
 /// of the run, [`BusyTracker::utilization`] gives busy-time / elapsed-time.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BusyTracker {
     busy_since: Option<SimTime>,
     accumulated: SimDuration,
@@ -171,7 +170,8 @@ impl BusyTracker {
 }
 
 /// Fixed-boundary log-scale histogram of durations (ns), 1 ns .. ~18 s.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LogHistogram {
     /// bucket `i` counts samples in `[2^i, 2^(i+1))` ns
     buckets: Vec<u64>,
@@ -225,7 +225,8 @@ impl LogHistogram {
 }
 
 /// Per-iteration timing record for an application run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IterationTimer {
     marks: Vec<SimTime>,
 }

@@ -108,7 +108,9 @@ impl Tracer {
     pub fn summary(&self) -> Vec<SpanStats> {
         let mut agg: BTreeMap<(&'static str, &'static str), (u64, SimDuration)> = BTreeMap::new();
         for s in &self.spans {
-            let e = agg.entry((s.category, s.label)).or_insert((0, SimDuration::ZERO));
+            let e = agg
+                .entry((s.category, s.label))
+                .or_insert((0, SimDuration::ZERO));
             e.0 += 1;
             e.1 += s.duration();
         }

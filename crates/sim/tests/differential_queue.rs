@@ -1,0 +1,239 @@
+//! Differential test: the slab-arena/calendar-queue engine against a
+//! reference `BinaryHeap` + tombstone implementation (the seed engine's
+//! design), driven by the same randomized schedule/cancel/soon workload.
+//!
+//! Both sides interpret an identical stream of RNG-derived commands, so
+//! any divergence in firing order — ring vs bucket vs overflow routing,
+//! cancellation, horizon crossings — shows up as the first mismatching
+//! trace entry. Seeded via [`SimRng`] so failures replay exactly.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use gaat_sim::{Sim, SimRng, SimTime};
+
+/// What a fired event decides to do next. Decisions are derived from the
+/// world RNG by [`decide`], which both engines call at the same points,
+/// so the command streams are identical as long as firing order is.
+enum Cmd {
+    /// Schedule a new event `delay` ns from now; `fast` picks the
+    /// closure-free fn-pointer path on the real engine (the reference
+    /// has only one representation).
+    Spawn { delay: u64, fast: bool },
+    /// Cancel the `choice % live.len()`-th tracked id (no-op when the
+    /// event already fired — both sides must agree on that too).
+    Cancel { choice: u64 },
+}
+
+/// Delay mixture covering every routing tier of the new engine: same
+/// instant (ring), short (wheel), exact horizon boundaries, and
+/// far-future (overflow heap).
+fn spawn_delay(rng: &mut SimRng) -> u64 {
+    match rng.below(16) {
+        0..=3 => 0,
+        4..=9 => 1 + rng.below(4_096),
+        10..=12 => 4_096 + rng.below(61_000),
+        13 => 65_535 + rng.below(3), // straddle the 65536-bucket horizon
+        _ => 65_536 + rng.below(1_000_000),
+    }
+}
+
+fn decide(rng: &mut SimRng, budget_left: u64) -> Vec<Cmd> {
+    let mut cmds = Vec::new();
+    let spawns = match rng.below(8) {
+        0 => 0,
+        1..=4 => 1,
+        _ => 2,
+    };
+    for _ in 0..spawns.min(budget_left) {
+        cmds.push(Cmd::Spawn {
+            delay: spawn_delay(rng),
+            fast: rng.below(2) == 0,
+        });
+    }
+    if rng.below(4) == 0 {
+        cmds.push(Cmd::Cancel {
+            choice: rng.next_u64(),
+        });
+    }
+    cmds
+}
+
+// ----- real engine -----
+
+struct RealWorld {
+    rng: SimRng,
+    trace: Vec<(u64, u32)>,
+    live: Vec<gaat_sim::EventId>,
+    next_label: u32,
+    budget: u64,
+}
+
+fn fire_real_fast(w: &mut RealWorld, sim: &mut Sim<RealWorld>, label: u64) {
+    fire_real(w, sim, label as u32);
+}
+
+fn fire_real(w: &mut RealWorld, sim: &mut Sim<RealWorld>, label: u32) {
+    w.trace.push((sim.now().as_ns(), label));
+    for cmd in decide(&mut w.rng, w.budget) {
+        match cmd {
+            Cmd::Spawn { delay, fast } => {
+                w.budget -= 1;
+                let label = w.next_label;
+                w.next_label += 1;
+                let at = sim.now() + gaat_sim::SimDuration::from_ns(delay);
+                let id = if fast {
+                    sim.at_call1(at, fire_real_fast, label as u64)
+                } else {
+                    sim.at(at, move |w: &mut RealWorld, sim: &mut Sim<RealWorld>| {
+                        fire_real(w, sim, label)
+                    })
+                };
+                w.live.push(id);
+            }
+            Cmd::Cancel { choice } => {
+                if !w.live.is_empty() {
+                    let i = (choice % w.live.len() as u64) as usize;
+                    let id = w.live.swap_remove(i);
+                    sim.cancel(id);
+                }
+            }
+        }
+    }
+}
+
+fn run_real(seed: u64, initial: u64, budget: u64) -> (Vec<(u64, u32)>, u64) {
+    let mut sim: Sim<RealWorld> = Sim::new();
+    let mut seeder = SimRng::new(seed ^ 0x5eed);
+    let mut w = RealWorld {
+        rng: SimRng::new(seed),
+        trace: Vec::new(),
+        live: Vec::new(),
+        next_label: 0,
+        budget,
+    };
+    for _ in 0..initial {
+        let label = w.next_label;
+        w.next_label += 1;
+        let at = SimTime::from_ns(seeder.below(10_000));
+        let id = sim.at(at, move |w: &mut RealWorld, sim: &mut Sim<RealWorld>| {
+            fire_real(w, sim, label)
+        });
+        w.live.push(id);
+    }
+    sim.run(&mut w);
+    (w.trace, sim.events_executed())
+}
+
+// ----- reference engine: BinaryHeap + cancellation tombstones -----
+
+struct RefSim {
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: u64,
+    executed: u64,
+}
+
+impl RefSim {
+    fn schedule(&mut self, at: u64, label: u32) -> u64 {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq, label)));
+        seq
+    }
+}
+
+struct RefWorld {
+    rng: SimRng,
+    trace: Vec<(u64, u32)>,
+    live: Vec<u64>,
+    next_label: u32,
+    budget: u64,
+}
+
+fn fire_ref(w: &mut RefWorld, sim: &mut RefSim, label: u32) {
+    w.trace.push((sim.now, label));
+    for cmd in decide(&mut w.rng, w.budget) {
+        match cmd {
+            Cmd::Spawn { delay, fast: _ } => {
+                w.budget -= 1;
+                let label = w.next_label;
+                w.next_label += 1;
+                let seq = sim.schedule(sim.now + delay, label);
+                w.live.push(seq);
+            }
+            Cmd::Cancel { choice } => {
+                if !w.live.is_empty() {
+                    let i = (choice % w.live.len() as u64) as usize;
+                    let seq = w.live.swap_remove(i);
+                    sim.cancelled.insert(seq);
+                }
+            }
+        }
+    }
+}
+
+fn run_ref(seed: u64, initial: u64, budget: u64) -> (Vec<(u64, u32)>, u64) {
+    let mut sim = RefSim {
+        heap: BinaryHeap::new(),
+        cancelled: HashSet::new(),
+        next_seq: 0,
+        now: 0,
+        executed: 0,
+    };
+    let mut seeder = SimRng::new(seed ^ 0x5eed);
+    let mut w = RefWorld {
+        rng: SimRng::new(seed),
+        trace: Vec::new(),
+        live: Vec::new(),
+        next_label: 0,
+        budget,
+    };
+    for _ in 0..initial {
+        let label = w.next_label;
+        w.next_label += 1;
+        let seq = sim.schedule(seeder.below(10_000), label);
+        w.live.push(seq);
+    }
+    while let Some(Reverse((at, seq, label))) = sim.heap.pop() {
+        if sim.cancelled.remove(&seq) {
+            continue;
+        }
+        sim.now = at;
+        sim.executed += 1;
+        fire_ref(&mut w, &mut sim, label);
+    }
+    (w.trace, sim.executed)
+}
+
+#[test]
+fn new_queue_matches_reference_heap_across_seeds() {
+    for seed in 0..24u64 {
+        let (real_trace, real_n) = run_real(seed, 64, 4_000);
+        let (ref_trace, ref_n) = run_ref(seed, 64, 4_000);
+        assert_eq!(real_n, ref_n, "executed-count divergence at seed {seed}");
+        if let Some(i) = (0..real_trace.len()).find(|&i| real_trace[i] != ref_trace[i]) {
+            panic!(
+                "trace divergence at seed {seed}, event {i}: real {:?} vs reference {:?}",
+                real_trace[i], ref_trace[i]
+            );
+        }
+        assert_eq!(
+            real_trace.len(),
+            ref_trace.len(),
+            "length divergence at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn new_queue_matches_reference_heap_deep_population() {
+    // A deeper run that forces slot recycling, bucket reuse after wheel
+    // wraparound, and a populated overflow tier.
+    let (real_trace, real_n) = run_real(99, 2_000, 60_000);
+    let (ref_trace, ref_n) = run_ref(99, 2_000, 60_000);
+    assert_eq!(real_n, ref_n);
+    assert_eq!(real_trace, ref_trace);
+}

@@ -27,7 +27,7 @@ use std::sync::Arc;
 use gaat_jacobi3d::geom::{chare_to_pe, Decomp, Dims, Face};
 use gaat_jacobi3d::kernels::{ghosted_len, idx};
 use gaat_rt::{
-    create_channel, BufRange, BufferId, Callback, Chare, ChareId, ChannelEnd, Ctx, EntryId,
+    create_channel, BufRange, BufferId, Callback, ChannelEnd, Chare, ChareId, Ctx, EntryId,
     Envelope, KernelSpec, MachineConfig, MemLoc, Op, RunOutcome, Simulation, Space, StreamId,
 };
 use gaat_sim::{SimDuration, SimTime};
@@ -319,7 +319,7 @@ pub fn build(cfg: SweepConfig) -> (Simulation, Vec<ChareId>, Arc<SweepShared>) {
             done_at: None,
         };
         let id = sim.machine.create_chare(pe, Box::new(block));
-        assert_eq!(id, ids[bi]);
+        assert_eq!(id, ChareId(base + bi));
     }
 
     // Wire downstream channels (one per +axis neighbour pair).
@@ -377,11 +377,7 @@ pub fn run_sweep(cfg: SweepConfig) -> SweepResult {
 
 /// Compare every block's final field against [`reference_sweep`],
 /// bit-for-bit. Returns cells compared.
-pub fn validate_against_reference(
-    sim: &Simulation,
-    ids: &[ChareId],
-    sh: &SweepShared,
-) -> usize {
+pub fn validate_against_reference(sim: &Simulation, ids: &[ChareId], sh: &SweepShared) -> usize {
     let reference = reference_sweep(sh.cfg.global, sh.cfg.sweeps + sh.cfg.warmup);
     let g = sh.cfg.global;
     let mut compared = 0;

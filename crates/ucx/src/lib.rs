@@ -31,15 +31,16 @@ use std::collections::HashMap;
 use gaat_gpu::{BufRange, CompletionTag, DeviceId, GpuHost, Op, Space, StreamId};
 use gaat_net::{NetHost, NetMsg, NodeId};
 use gaat_sim::{Sim, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// A communication endpoint — one per PE/process (and therefore one per
 /// GPU in the paper's configuration).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WorkerId(pub usize);
 
 /// Message tag for two-sided matching.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tag(pub u64);
 
 /// Where a message buffer lives: a range of some device's memory pool
@@ -53,7 +54,8 @@ pub struct MemLoc {
 }
 
 /// Protocol calibration constants.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct UcxParams {
     /// Host-memory messages up to this size go eager.
     pub eager_threshold: u64,
@@ -369,9 +371,7 @@ pub fn isend<W: UcxHost>(
                     token,
                 },
             );
-            sim.soon(move |w: &mut W, sim: &mut Sim<W>| {
-                w.on_ucx_event(sim, UcxEvent::SendDone { worker: from, user });
-            });
+            sim.soon_call2(eager_send_done::<W>, from.0 as u64, user);
         }
         Protocol::Rendezvous | Protocol::GpuDirect | Protocol::Pipelined => {
             match protocol {
@@ -398,6 +398,18 @@ pub fn isend<W: UcxHost>(
             );
         }
     }
+}
+
+/// Closure-free `SendDone` delivery for the eager protocol: the worker id
+/// and user cookie ride in the event's payload words.
+fn eager_send_done<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, from: u64, user: u64) {
+    w.on_ucx_event(
+        sim,
+        UcxEvent::SendDone {
+            worker: WorkerId(from as usize),
+            user,
+        },
+    );
 }
 
 /// Post a nonblocking two-sided receive at `at` for a message from `from`
@@ -501,12 +513,14 @@ pub fn on_net_deliver<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, msg: NetMsg) {
                     finish_recv(w, sim, xfer);
                 }
                 None => {
-                    w.ucx_mut().workers[to.0].unexpected.push(UnexpectedArrival {
-                        from,
-                        tag,
-                        xfer,
-                        eager: true,
-                    });
+                    w.ucx_mut().workers[to.0]
+                        .unexpected
+                        .push(UnexpectedArrival {
+                            from,
+                            tag,
+                            xfer,
+                            eager: true,
+                        });
                 }
             }
         }
@@ -521,12 +535,14 @@ pub fn on_net_deliver<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, msg: NetMsg) {
                     send_cts(w, sim, xfer);
                 }
                 None => {
-                    w.ucx_mut().workers[to.0].unexpected.push(UnexpectedArrival {
-                        from,
-                        tag,
-                        xfer,
-                        eager: false,
-                    });
+                    w.ucx_mut().workers[to.0]
+                        .unexpected
+                        .push(UnexpectedArrival {
+                            from,
+                            tag,
+                            xfer,
+                            eager: false,
+                        });
                 }
             }
         }
@@ -776,7 +792,10 @@ mod tests {
             select_protocol(&p, Space::Host, p.eager_threshold + 1),
             Protocol::Rendezvous
         );
-        assert_eq!(select_protocol(&p, Space::Device, 1024), Protocol::GpuDirect);
+        assert_eq!(
+            select_protocol(&p, Space::Device, 1024),
+            Protocol::GpuDirect
+        );
         assert_eq!(
             select_protocol(&p, Space::Device, p.pipeline_threshold),
             Protocol::GpuDirect

@@ -103,14 +103,16 @@ fn msg_strategy(workers: usize) -> impl Strategy<Value = Msg> {
         any::<bool>(),
         0u64..50_000,
     )
-        .prop_map(move |(from, to, elems, device_space, recv_first, delay_ns)| Msg {
-            from,
-            to: if from == to { (to + 1) % workers } else { to },
-            elems,
-            device_space,
-            recv_first,
-            delay_ns,
-        })
+        .prop_map(
+            move |(from, to, elems, device_space, recv_first, delay_ns)| Msg {
+                from,
+                to: if from == to { (to + 1) % workers } else { to },
+                elems,
+                device_space,
+                recv_first,
+                delay_ns,
+            },
+        )
 }
 
 proptest! {

@@ -150,8 +150,7 @@ fn eager_host_message_delivers_data() {
     assert_eq!(send_done(&w).len(), 1);
     // Sender completes at t=0 (eager); receiver at about latency + ser.
     assert_eq!(send_done(&w)[0], SimTime::ZERO);
-    let expect = w.fabric.params().inter_latency
-        + w.fabric.params().inter_ser(8 * len as u64 + 64);
+    let expect = w.fabric.params().inter_latency + w.fabric.params().inter_ser(8 * len as u64 + 64);
     assert_eq!(recv_done(&w)[0].as_ns(), expect.as_ns());
     assert_eq!(w.ucx.stats().eager, 1);
 }
@@ -167,13 +166,20 @@ fn eager_unexpected_arrival_then_post() {
     run(&mut w, move |w, sim| {
         isend(w, sim, WorkerId(0), WorkerId(1), Tag(1), sl, 0);
         // Post the receive long after the data has landed unexpectedly.
-        sim.after(gaat_sim::SimDuration::from_ms(5), move |w: &mut World, sim| {
-            irecv(w, sim, WorkerId(1), WorkerId(0), Tag(1), rl, 0);
-        });
+        sim.after(
+            gaat_sim::SimDuration::from_ms(5),
+            move |w: &mut World, sim| {
+                irecv(w, sim, WorkerId(1), WorkerId(0), Tag(1), rl, 0);
+            },
+        );
     });
     assert_eq!(w.read(1, rbuf, len), w.read(0, sbuf, len));
     assert_eq!(recv_done(&w).len(), 1);
-    assert_eq!(recv_done(&w)[0].as_ns(), 5_000_000, "completes at post time");
+    assert_eq!(
+        recv_done(&w)[0].as_ns(),
+        5_000_000,
+        "completes at post time"
+    );
 }
 
 #[test]

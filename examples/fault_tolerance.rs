@@ -135,7 +135,10 @@ fn main() {
     // Phase 1 completes and is checkpointed.
     let t1 = run_until_quiescent(&mut sim, &ids, steps_per_phase);
     let ckpt = take_checkpoint(&mut sim, &ids);
-    println!("phase 1 done at {t1}; checkpoint taken ({} chares)", ids.len());
+    println!(
+        "phase 1 done at {t1}; checkpoint taken ({} chares)",
+        ids.len()
+    );
 
     // Phase 2 starts... and PE 0 "fails" partway through. In a real
     // machine the in-flight phase is lost; we model that by rolling every

@@ -10,9 +10,7 @@
 //! ```
 
 use gaat::gpu::{KernelSpec, Op, StreamId};
-use gaat::rt::{
-    lb, Callback, Chare, ChareId, Ctx, EntryId, Envelope, MachineConfig, Simulation,
-};
+use gaat::rt::{lb, Callback, Chare, ChareId, Ctx, EntryId, Envelope, MachineConfig, Simulation};
 use gaat::sim::{SimDuration, SimTime};
 
 const E_GO: EntryId = EntryId(0);

@@ -62,12 +62,8 @@ fn main() {
     println!("   u = update, p = pack(+fused), d/h = DMA, . = idle\n");
     print!(
         "{}",
-        dev.tracer.ascii_timeline(
-            &[(0, "compute"), (1, "d2h"), (2, "h2d")],
-            from,
-            to,
-            100
-        )
+        dev.tracer
+            .ascii_timeline(&[(0, "compute"), (1, "d2h"), (2, "h2d")], from, to, 100)
     );
     println!(
         "\nNote how transfers and (un)packing overlap with the update kernel —\n\

@@ -60,9 +60,6 @@ fn main() {
             r.cpu_utilization * 100.0
         );
     }
-    let speedup =
-        mpi_h.time_per_iter.as_ns() as f64 / charm_d.time_per_iter.as_ns() as f64;
-    println!(
-        "\nGPU-aware asynchronous tasks (Charm-D) vs host-staging MPI: {speedup:.2}x faster"
-    );
+    let speedup = mpi_h.time_per_iter.as_ns() as f64 / charm_d.time_per_iter.as_ns() as f64;
+    println!("\nGPU-aware asynchronous tasks (Charm-D) vs host-staging MPI: {speedup:.2}x faster");
 }

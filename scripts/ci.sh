@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, tier-1 build + tests, and an engine
+# benchmark smoke run. Everything here must pass with no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "==> tier-1 build"
+cargo build --release
+
+echo "==> tier-1 tests"
+cargo test -q --release
+
+echo "==> workspace tests"
+cargo test -q --release --workspace
+
+echo "==> engine benchmark (smoke)"
+cargo run --release -p gaat-bench --bin engine_speed -- --smoke --out /tmp/BENCH_engine_smoke.json
+echo "smoke benchmark OK"
+
+echo "CI green"

@@ -54,6 +54,51 @@ fn graph_and_fusion_paths_replay_exactly() {
     assert_eq!(a.graph_launches, b.graph_launches);
 }
 
+/// Golden fingerprints recorded on the seed `BinaryHeap` + boxed-closure
+/// engine (commit 3c05e51) for the exact configurations above. The
+/// slab-arena/calendar-queue rewrite must reproduce the seed's
+/// (time, seq) firing order bit for bit, so these totals may never move
+/// unless the *model* (latencies, topology) changes — in which case the
+/// change must be deliberate and these constants re-recorded.
+#[test]
+fn firing_order_matches_seed_engine_goldens() {
+    let golden = [
+        (
+            CommMode::HostStaging,
+            5_375_583u64,
+            509_822u64,
+            4_736u64,
+            4_640u64,
+        ),
+        (CommMode::GpuAware, 3_115_437, 295_779, 4_736, 4_640),
+    ];
+    for (comm, total_ns, per_iter_ns, entries, kernels) in golden {
+        let mut c = cfg();
+        c.comm = comm;
+        c.odf = 4;
+        let r = run_charm(c);
+        assert_eq!(r.total.as_ns(), total_ns, "{comm:?} total");
+        assert_eq!(r.time_per_iter.as_ns(), per_iter_ns, "{comm:?} per-iter");
+        assert_eq!(r.entries, entries, "{comm:?} entries");
+        assert_eq!(r.kernels, kernels, "{comm:?} kernels");
+    }
+
+    let r = run_mpi(cfg());
+    assert_eq!(r.total.as_ns(), 985_297, "mpi total");
+    assert_eq!(r.time_per_iter.as_ns(), 97_758, "mpi per-iter");
+    assert_eq!(r.entries, 1_172, "mpi entries");
+
+    let mut c = cfg();
+    c.comm = CommMode::GpuAware;
+    c.fusion = Fusion::B;
+    c.graphs = true;
+    c.odf = 2;
+    let r = run_charm(c);
+    assert_eq!(r.total.as_ns(), 604_716, "graphs+fusionB total");
+    assert_eq!(r.entries, 2_128, "graphs+fusionB entries");
+    assert_eq!(r.graph_launches, 240, "graphs+fusionB graph launches");
+}
+
 #[test]
 fn seeds_change_timing_but_not_structure() {
     let mk = |seed| {

@@ -27,9 +27,7 @@ fn fig6_optimizations_never_hurt_much_and_help_at_scale() {
         if r.series.contains("optimized") {
             let orig = rows
                 .iter()
-                .find(|o| {
-                    o.figure == "6a" && o.nodes == r.nodes && o.series.contains("original")
-                })
+                .find(|o| o.figure == "6a" && o.nodes == r.nodes && o.series.contains("original"))
                 .expect("paired row");
             assert!(
                 r.time_us <= orig.time_us * 1.05,
@@ -146,7 +144,9 @@ fn fig7c_mechanism_strong_scaling_favors_charm_d_once_halos_shrink() {
         c.warmup = 2;
         c
     };
-    let mpi_h = run_mpi(base(CommMode::HostStaging)).time_per_iter.as_micros_f64();
+    let mpi_h = run_mpi(base(CommMode::HostStaging))
+        .time_per_iter
+        .as_micros_f64();
     let best = |comm| {
         [1usize, 2, 4]
             .iter()
@@ -159,7 +159,10 @@ fn fig7c_mechanism_strong_scaling_favors_charm_d_once_halos_shrink() {
     };
     let charm_h = best(CommMode::HostStaging);
     let charm_d = best(CommMode::GpuAware);
-    assert!(charm_d < mpi_h, "Charm-D {charm_d} should beat MPI-H {mpi_h}");
+    assert!(
+        charm_d < mpi_h,
+        "Charm-D {charm_d} should beat MPI-H {mpi_h}"
+    );
     assert!(
         charm_d <= charm_h * 1.05,
         "Charm-D {charm_d} should be at least on par with Charm-H {charm_h}"

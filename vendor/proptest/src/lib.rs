@@ -1,0 +1,158 @@
+//! A small, dependency-free property-testing harness exposing the subset
+//! of the `proptest` API this workspace uses, so the test suite builds and
+//! runs with no crates.io access (the workspace `[patch.crates-io]` table
+//! redirects `proptest` here).
+//!
+//! Supported surface:
+//! - `proptest! { #![proptest_config(..)] #[test] fn f(x in strat, ..) { .. } }`
+//! - strategies: integer ranges (`lo..hi`, `lo..=hi`), `any::<T>()`,
+//!   `Just`, tuples (arity 2–8), `prop::collection::vec`, `prop_oneof!`,
+//!   `.prop_map(..)`, `.boxed()`
+//! - assertions: `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`
+//!
+//! Differences from real proptest: no shrinking, no failure persistence,
+//! and fully deterministic case generation — the RNG stream for a test is
+//! derived from the test's module path and name, so every run (and every
+//! machine) sees the same cases. That fits this repository's
+//! bit-determinism goals; a genuinely random seed would make tier-1 runs
+//! non-reproducible.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+pub use test_runner::TestRng;
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Run-loop configuration (the `cases` field is the one that matters).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; rejection sampling is not implemented.
+    pub max_global_rejects: u32,
+    /// Accepted for compatibility; ignored.
+    pub max_local_rejects: u32,
+    /// Accepted for compatibility; ignored.
+    pub fork: bool,
+    /// Accepted for compatibility; ignored.
+    pub verbose: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            // Real proptest defaults to 256; 64 keeps the offline tier-1
+            // suite fast while still sweeping a meaningful sample.
+            cases: 64,
+            max_shrink_iters: 0,
+            max_global_rejects: 0,
+            max_local_rejects: 0,
+            fork: false,
+            verbose: 0,
+        }
+    }
+}
+
+/// FNV-1a over a string, used to derive per-test RNG streams.
+#[doc(hidden)]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Everything a test file needs via `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property body (panics, since shrinking is not
+/// implemented there is no need to thread `Result` through).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The property-test declaration macro. Each declared function becomes an
+/// ordinary `#[test]` running `cases` deterministic generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __stream = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases as u64 {
+                let mut __rng = $crate::TestRng::from_seed(
+                    __stream ^ __case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}

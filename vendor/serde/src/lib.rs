@@ -1,0 +1,25 @@
+//! Marker-trait stand-in for `serde`, used when building offline.
+//!
+//! The real `serde` is feature-gated off by default in every workspace
+//! crate (`--features serde` on each crate re-enables the derives). To
+//! let the *resolver* succeed with no registry access, the workspace
+//! `[patch.crates-io]` table redirects `serde` to this package: the
+//! traits exist and blanket-hold for every type, and the derive macros
+//! expand to nothing. Nothing in the tier-1 build serializes, so the
+//! stand-in is behaviourally inert; swap the patch out to get real
+//! serialization.
+
+/// Marker stand-in for `serde::Serialize`; holds for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; holds for every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace builds in environments with no crates.io access, so
+//! `[patch.crates-io]` redirects `serde_derive` here. The derives accept
+//! the same attribute grammar (`#[serde(...)]`) and expand to nothing;
+//! the sibling `vendor/serde` stub provides blanket trait impls so
+//! `T: Serialize` bounds still hold.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
