@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use gaat_bench::ablation::channel_vs_gpu_messaging;
-use gaat_net::{Fabric, NetMsg, NetParams, NodeId};
+use gaat_net::{Fabric, NetMsg, NetParams, NodeId, TrafficClass};
 use gaat_sim::{SimDuration, SimRng, SimTime};
 
 fn bench_fabric_commit(c: &mut Criterion) {
@@ -21,6 +21,7 @@ fn bench_fabric_commit(c: &mut Criterion) {
                         bytes: 4096,
                         extra_latency: SimDuration::ZERO,
                         token: i as u64,
+                        class: TrafficClass::Data,
                     };
                     last = f.commit(SimTime::from_ns(i as u64 * 10), &m);
                 }

@@ -1,0 +1,286 @@
+//! Interconnect-model benchmark, tracked from PR 2 onward.
+//!
+//! Three parts, written to `BENCH_net.json`:
+//!
+//! - `flow_churn`: raw max-min-fair flow-simulation throughput (rate
+//!   recomputations and flow-rate updates per second) under synthetic
+//!   fat-tree traffic at a fixed concurrency — the perf baseline for
+//!   future topology changes.
+//! - A congestion ablation: the same Jacobi3D problem under `Flat` vs
+//!   `FatTree` and `Packed` vs `RoundRobin` placement, recording run
+//!   time and the hot-link counters that only the topology model can
+//!   see.
+//! - A sanity pin (exit code 1 on failure): a single unloaded same-leaf
+//!   message under `FatTree` must agree with `Flat` within 1%, so the
+//!   topology model stays calibrated to the alpha-beta constants.
+//!
+//! Usage: `net_speed [--smoke] [--out PATH]`
+
+use std::time::Instant;
+
+use gaat_jacobi3d::{charm, CommMode, Dims, JacobiConfig, Placement};
+use gaat_net::{send, Fabric, NetHost, NetMsg, NetParams, NodeId, TopologyKind, TrafficClass};
+use gaat_rt::MachineConfig;
+use gaat_sim::{Sim, SimDuration, SimRng, SimTime};
+use gaat_topo::{FatTreeGraph, FatTreeParams, FlowSim};
+
+/// Flow-simulation throughput: deterministic synthetic traffic over a
+/// fat-tree link graph held at a target concurrency.
+struct FlowChurnResult {
+    flows: u64,
+    recomputes: u64,
+    /// Per-flow rate assignments performed across all recomputes.
+    rate_updates: u64,
+    wall_s: f64,
+}
+
+fn flow_churn(flows_total: u64, concurrency: usize, seed: u64) -> FlowChurnResult {
+    let nodes = 72; // 4 leaves under the default radix
+    let params = NetParams::default();
+    let graph = FatTreeGraph::new(
+        nodes,
+        params.intra_bw,
+        params.inter_bw,
+        FatTreeParams::default(),
+    );
+    let mut flows = FlowSim::new(graph.links().to_vec());
+    let mut rng = SimRng::new(seed);
+    let mut route = Vec::new();
+    let mut done = Vec::new();
+    let mut started = 0u64;
+    let mut rate_updates = 0u64;
+    let mut now = SimTime::ZERO;
+
+    let start = Instant::now();
+    while started < flows_total || flows.active_flows() > 0 {
+        // Keep the live population topped up to `concurrency`.
+        while started < flows_total && flows.active_flows() < concurrency {
+            let src = rng.below(nodes as u64) as usize;
+            let dst = rng.below(nodes as u64) as usize;
+            graph.route(src, dst, &mut route);
+            let bytes = 1_000.0 + rng.below(4_000_000) as f64;
+            flows.start(now, &route, bytes, started);
+            started += 1;
+            rate_updates += flows.active_flows() as u64;
+        }
+        let Some(wake) = flows.next_wakeup() else {
+            break;
+        };
+        now = now.max(wake);
+        done.clear();
+        flows.advance(now, &mut done);
+        rate_updates += flows.active_flows() as u64;
+    }
+    FlowChurnResult {
+        flows: started,
+        recomputes: flows.recomputes,
+        rate_updates,
+        wall_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// One congestion-ablation cell: a Jacobi3D run with its network
+/// counters.
+struct AblationResult {
+    topology: &'static str,
+    placement: &'static str,
+    total_ns: u64,
+    inter_bytes: u64,
+    peak_link_flows: u32,
+    max_link_utilization: f64,
+    hottest_link: Option<u32>,
+    wall_s: f64,
+}
+
+fn ablation_cell(topology: &'static str, placement: Placement, smoke: bool) -> AblationResult {
+    let mut machine = if topology == "fattree" {
+        MachineConfig::summit_fattree(4)
+    } else {
+        MachineConfig::summit(4)
+    };
+    machine.net.jitter = 0.0; // comparable cells
+    let mut cfg = JacobiConfig::new(machine, Dims::cube(if smoke { 96 } else { 192 }));
+    cfg.comm = CommMode::GpuAware;
+    cfg.odf = 2;
+    cfg.placement = placement;
+    cfg.iters = if smoke { 4 } else { 16 };
+    cfg.warmup = 1;
+    let (mut sim, ids, sh) = charm::build(cfg);
+    let start = Instant::now();
+    let result = charm::run(&mut sim, &ids, &sh);
+    let wall_s = start.elapsed().as_secs_f64();
+    let stats = sim.machine.fabric.stats();
+    AblationResult {
+        topology,
+        placement: match placement {
+            Placement::Packed => "packed",
+            Placement::RoundRobin => "round_robin",
+        },
+        total_ns: result.total.as_ns(),
+        inter_bytes: stats.inter_bytes,
+        peak_link_flows: stats.peak_link_flows,
+        max_link_utilization: stats.max_link_utilization,
+        hottest_link: stats.hottest_link.map(|l| l.0),
+        wall_s,
+    }
+}
+
+/// Sanity pin: one unloaded same-leaf message must cost the same (within
+/// 1%) under both topology models.
+struct SanityPin {
+    flat_ns: u64,
+    fattree_ns: u64,
+    rel_err: f64,
+    pass: bool,
+}
+
+struct PinWorld {
+    fabric: Fabric,
+    delivered: Option<SimTime>,
+}
+impl NetHost for PinWorld {
+    fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+    fn on_net_deliver(&mut self, sim: &mut Sim<Self>, _msg: NetMsg) {
+        self.delivered = Some(sim.now());
+    }
+}
+
+fn sanity_pin() -> SanityPin {
+    let bytes = 4u64 << 20; // large enough that a switch hop is < 1%
+    let msg = NetMsg {
+        src: NodeId(0),
+        dst: NodeId(1),
+        bytes,
+        extra_latency: SimDuration::ZERO,
+        token: 1,
+        class: TrafficClass::Data,
+    };
+    let mut params = NetParams {
+        jitter: 0.0,
+        ..NetParams::default()
+    };
+
+    let mut flat = Fabric::new(2, params.clone(), SimRng::new(1));
+    let flat_ns = flat.commit(SimTime::ZERO, &msg).as_ns();
+
+    params.topology = TopologyKind::FatTree(FatTreeParams::default());
+    let mut w = PinWorld {
+        fabric: Fabric::new(2, params, SimRng::new(1)),
+        delivered: None,
+    };
+    let mut sim: Sim<PinWorld> = Sim::new();
+    sim.soon(move |w: &mut PinWorld, sim: &mut Sim<PinWorld>| send(w, sim, msg));
+    sim.run(&mut w);
+    let fattree_ns = w.delivered.expect("pin message delivered").as_ns();
+
+    let rel_err = (fattree_ns as f64 - flat_ns as f64).abs() / flat_ns as f64;
+    SanityPin {
+        flat_ns,
+        fattree_ns,
+        rel_err,
+        pass: rel_err <= 0.01,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_net.json".to_string());
+
+    let flows_total: u64 = if smoke { 20_000 } else { 400_000 };
+    let concurrency = 256;
+
+    // Best-of-N on the churn microbenchmark to shed scheduler noise.
+    let reps = if smoke { 1 } else { 5 };
+    let mut churn = flow_churn(flows_total, concurrency, 42);
+    for _ in 1..reps {
+        let r = flow_churn(flows_total, concurrency, 42);
+        if r.wall_s < churn.wall_s {
+            churn = r;
+        }
+    }
+
+    let cells = vec![
+        ablation_cell("flat", Placement::Packed, smoke),
+        ablation_cell("flat", Placement::RoundRobin, smoke),
+        ablation_cell("fattree", Placement::Packed, smoke),
+        ablation_cell("fattree", Placement::RoundRobin, smoke),
+    ];
+
+    let pin = sanity_pin();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"net_speed\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!(
+        "  \"flow_churn\": {{\"flows\": {}, \"recomputes\": {}, \"rate_updates\": {}, \"wall_s\": {:.6}, \"recomputes_per_sec\": {:.0}, \"rate_updates_per_sec\": {:.0}}},\n",
+        churn.flows,
+        churn.recomputes,
+        churn.rate_updates,
+        churn.wall_s,
+        churn.recomputes as f64 / churn.wall_s,
+        churn.rate_updates as f64 / churn.wall_s,
+    ));
+    json.push_str("  \"congestion_ablation\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"topology\": \"{}\", \"placement\": \"{}\", \"total_ns\": {}, \"inter_bytes\": {}, \"peak_link_flows\": {}, \"max_link_utilization\": {:.4}, \"hottest_link\": {}, \"wall_s\": {:.6}}}{}\n",
+            c.topology,
+            c.placement,
+            c.total_ns,
+            c.inter_bytes,
+            c.peak_link_flows,
+            c.max_link_utilization,
+            c.hottest_link
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            c.wall_s,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"sanity_pin\": {{\"flat_ns\": {}, \"fattree_ns\": {}, \"rel_err\": {:.6}, \"pass\": {}}}\n",
+        pin.flat_ns, pin.fattree_ns, pin.rel_err, pin.pass
+    ));
+    json.push_str("}\n");
+
+    println!(
+        "flow_churn     {:>8} flows  {:>8} recomputes  {:>9.3} ms  {:>12.0} rate-updates/s",
+        churn.flows,
+        churn.recomputes,
+        churn.wall_s * 1e3,
+        churn.rate_updates as f64 / churn.wall_s,
+    );
+    for c in &cells {
+        println!(
+            "{:<8} {:<12} total {:>12} ns  inter {:>12} B  peak_flows {:>3}  max_util {:.3}",
+            c.topology,
+            c.placement,
+            c.total_ns,
+            c.inter_bytes,
+            c.peak_link_flows,
+            c.max_link_utilization
+        );
+    }
+    println!(
+        "sanity_pin     flat {} ns vs fattree {} ns  rel_err {:.4}  {}",
+        pin.flat_ns,
+        pin.fattree_ns,
+        pin.rel_err,
+        if pin.pass { "OK" } else { "FAIL" }
+    );
+    std::fs::write(&out, json).expect("write BENCH_net.json");
+    println!("wrote {out}");
+    if !pin.pass {
+        eprintln!("sanity pin failed: FatTree unloaded cost diverged >1% from Flat");
+        std::process::exit(1);
+    }
+}

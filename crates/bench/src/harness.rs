@@ -60,6 +60,11 @@ pub struct Effort {
     pub odfs: Vec<usize>,
     /// RNG seeds averaged per point (paper: 3 trials).
     pub seeds: Vec<u64>,
+    /// Network jitter override (`None` = machine default). Quick efforts
+    /// run a single seed, so per-message jitter (±1%) is not averaged
+    /// out and can flip marginal shape comparisons — they pin it to 0
+    /// and assert on the noise-free means instead.
+    pub jitter: Option<f64>,
 }
 
 impl Effort {
@@ -71,6 +76,7 @@ impl Effort {
             max_nodes: 8,
             odfs: vec![1, 4],
             seeds: vec![1],
+            jitter: Some(0.0),
         }
     }
 
@@ -82,6 +88,7 @@ impl Effort {
             max_nodes: 64,
             odfs: vec![1, 2, 4, 8],
             seeds: vec![1],
+            jitter: None,
         }
     }
 
@@ -93,6 +100,7 @@ impl Effort {
             max_nodes: 512,
             odfs: vec![1, 2, 4, 8, 16],
             seeds: vec![1, 2, 3],
+            jitter: None,
         }
     }
 
@@ -161,6 +169,9 @@ pub fn run_point(
     for &seed in &e.seeds {
         let mut cfg = JacobiConfig::new(gaat_rt::MachineConfig::summit(nodes), global);
         cfg.machine.seed = seed;
+        if let Some(j) = e.jitter {
+            cfg.machine.net.jitter = j;
+        }
         cfg.comm = variant.comm();
         cfg.sync = sync;
         cfg.fusion = fusion;

@@ -93,6 +93,16 @@ impl MachineConfig {
         }
     }
 
+    /// A Summit-like machine whose interconnect is the explicit
+    /// fat-tree topology model (`gaat-topo`): messages contend for
+    /// NVLink, NIC ports, and leaf/spine trunks under max-min fair
+    /// sharing, instead of the flat per-NIC model of [`Self::summit`].
+    pub fn summit_fattree(nodes: usize) -> Self {
+        let mut cfg = Self::summit(nodes);
+        cfg.net.topology = gaat_net::TopologyKind::FatTree(gaat_net::FatTreeParams::default());
+        cfg
+    }
+
     /// Small functional-validation machine: `nodes` nodes × `pes` PEs with
     /// real buffers and no jitter (bit-exact numerics).
     pub fn validation(nodes: usize, pes: usize) -> Self {

@@ -38,8 +38,14 @@ pub fn greedy_rebalance(m: &mut Machine, chares: &[ChareId]) -> RebalanceReport 
         before[m.pe_of(c)] += l.as_ns();
     }
 
+    let max_before_ns = before.into_iter().max().unwrap_or(0);
+
+    // Plan first, migrate second. LPT is a 4/3-approximation, not an
+    // optimum: on an input that is already well placed it can *raise*
+    // the makespan, so the plan is only applied when it strictly
+    // improves on the current placement — rebalancing never degrades.
     let mut assigned = vec![0u64; npes];
-    let mut migrations = 0;
+    let mut plan: Vec<(ChareId, usize)> = Vec::with_capacity(loads.len());
     for &(c, l) in &loads {
         // Least-loaded PE (lowest index wins ties — deterministic).
         let (target, _) = assigned
@@ -48,6 +54,19 @@ pub fn greedy_rebalance(m: &mut Machine, chares: &[ChareId]) -> RebalanceReport 
             .min_by_key(|&(i, &v)| (v, i))
             .expect("at least one PE");
         assigned[target] += l.as_ns();
+        plan.push((c, target));
+    }
+    let max_planned_ns = assigned.into_iter().max().unwrap_or(0);
+    if max_planned_ns >= max_before_ns {
+        return RebalanceReport {
+            migrations: 0,
+            max_before_ns,
+            max_after_ns: max_before_ns,
+        };
+    }
+
+    let mut migrations = 0;
+    for (c, target) in plan {
         if m.pe_of(c) != target {
             m.migrate(c, target);
             migrations += 1;
@@ -55,8 +74,8 @@ pub fn greedy_rebalance(m: &mut Machine, chares: &[ChareId]) -> RebalanceReport 
     }
     RebalanceReport {
         migrations,
-        max_before_ns: before.into_iter().max().unwrap_or(0),
-        max_after_ns: assigned.into_iter().max().unwrap_or(0),
+        max_before_ns,
+        max_after_ns: max_planned_ns,
     }
 }
 
@@ -104,5 +123,47 @@ mod tests {
         let report = greedy_rebalance(&mut m, &[a, b]);
         assert_eq!(report.migrations, 0);
         assert_eq!(report.max_before_ns, report.max_after_ns);
+    }
+
+    #[test]
+    fn empty_chare_set_is_a_noop() {
+        let mut m = Machine::new(MachineConfig::validation(1, 4));
+        let report = greedy_rebalance(&mut m, &[]);
+        assert_eq!(report.migrations, 0);
+        assert_eq!(report.max_before_ns, 0);
+        assert_eq!(report.max_after_ns, 0);
+    }
+
+    #[test]
+    fn single_pe_cannot_migrate() {
+        let mut m = Machine::new(MachineConfig::validation(1, 1));
+        let mut chares = vec![];
+        for i in 1..=4u64 {
+            let c = m.create_chare(0, Box::new(Dummy));
+            m.set_load_for_test(c, SimDuration::from_ms(i));
+            chares.push(c);
+        }
+        let report = greedy_rebalance(&mut m, &chares);
+        assert_eq!(report.migrations, 0);
+        assert_eq!(report.max_before_ns, report.max_after_ns);
+        assert_eq!(report.max_before_ns, 10_000_000);
+    }
+
+    #[test]
+    fn lpt_worsening_input_is_left_alone() {
+        // Loads 3,3,2,2,2 optimally pre-placed on 2 PEs at makespan 6;
+        // raw LPT would produce 7. The plan must be discarded.
+        let mut m = Machine::new(MachineConfig::validation(1, 2));
+        let mut chares = vec![];
+        for (pe, ms) in [(0, 3), (0, 3), (1, 2), (1, 2), (1, 2)] {
+            let c = m.create_chare(pe, Box::new(Dummy));
+            m.set_load_for_test(c, SimDuration::from_ms(ms));
+            chares.push(c);
+        }
+        let report = greedy_rebalance(&mut m, &chares);
+        assert_eq!(report.migrations, 0);
+        assert_eq!(report.max_before_ns, 6_000_000);
+        assert_eq!(report.max_after_ns, 6_000_000);
+        assert!(chares.iter().take(2).all(|&c| m.pe_of(c) == 0));
     }
 }

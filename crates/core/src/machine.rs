@@ -257,7 +257,8 @@ impl Machine {
                 d
             })
             .collect();
-        let fabric = Fabric::new(cfg.nodes, cfg.net.clone(), rng.stream(1));
+        let mut fabric = Fabric::new(cfg.nodes, cfg.net.clone(), rng.stream(1));
+        fabric.set_tracing(cfg.trace);
         let ucx = UcxState::new(pes, cfg.ucx.clone());
         Machine {
             devices,

@@ -65,6 +65,22 @@ pub enum GraphStrategy {
     UpdateParams,
 }
 
+/// How chares map onto PEs (and therefore nodes). Placement decides how
+/// much halo traffic crosses node boundaries, which is what the
+/// topology-aware fabric model prices: a congestion ablation runs the
+/// same problem under both placements and compares hot links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Placement {
+    /// Contiguous blocks of the linearized chare order per PE (the
+    /// Charm++ default block map) — neighbours mostly share a node.
+    Packed,
+    /// Chare `i` on PE `i % npes` — adjacent blocks land on different
+    /// PEs/nodes, maximizing inter-node halo traffic (adversarial for
+    /// the interconnect).
+    RoundRobin,
+}
+
 /// A full experiment description.
 #[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -76,6 +92,8 @@ pub struct JacobiConfig {
     /// Overdecomposition factor: chares per PE (task-runtime versions
     /// only; the MPI versions always run one rank per PE).
     pub odf: usize,
+    /// Chare-to-PE (and node) mapping (task-runtime versions only).
+    pub placement: Placement,
     /// Halo transport.
     pub comm: CommMode,
     /// Synchronization scheme.
@@ -116,6 +134,7 @@ impl JacobiConfig {
             machine,
             global,
             odf: 1,
+            placement: Placement::Packed,
             comm: CommMode::GpuAware,
             sync: SyncMode::Optimized,
             fusion: Fusion::None,

@@ -28,7 +28,7 @@ use gaat_rt::{
 use gaat_sim::SimTime;
 
 use crate::app::{CommMode, Fusion, GraphStrategy, JacobiConfig, RunResult, SyncMode};
-use crate::geom::{chare_to_pe, Decomp, Dims, Face, FACES};
+use crate::geom::{place_chare, Decomp, Dims, Face, FACES};
 use crate::kernels;
 use crate::reference::initial_value;
 
@@ -557,7 +557,7 @@ pub fn build(cfg: JacobiConfig) -> (Simulation, Vec<ChareId>, Arc<Shared>) {
         let dims = sh.decomp.block_dims(coord);
         let origin = sh.decomp.block_origin(coord);
         let faces = sh.decomp.active_faces(coord);
-        let pe = chare_to_pe(bi, nblocks, pes);
+        let pe = place_chare(bi, nblocks, pes, cfg.placement);
         let dev = sim.machine.pe_device(pe);
         let device = &mut sim.machine.devices[dev.0];
 

@@ -259,6 +259,27 @@ pub fn chare_to_pe(idx: usize, nchares: usize, npes: usize) -> usize {
     }
 }
 
+/// Map chare `idx` onto a PE under the chosen placement policy:
+/// [`Placement::Packed`] is [`chare_to_pe`]; [`Placement::RoundRobin`]
+/// strides adjacent chares across PEs (and therefore nodes).
+///
+/// [`Placement::Packed`]: crate::app::Placement::Packed
+/// [`Placement::RoundRobin`]: crate::app::Placement::RoundRobin
+pub fn place_chare(
+    idx: usize,
+    nchares: usize,
+    npes: usize,
+    placement: crate::app::Placement,
+) -> usize {
+    match placement {
+        crate::app::Placement::Packed => chare_to_pe(idx, nchares, npes),
+        crate::app::Placement::RoundRobin => {
+            assert!(idx < nchares);
+            idx % npes
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

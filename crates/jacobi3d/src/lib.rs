@@ -27,8 +27,8 @@ pub mod kernels;
 pub mod mpi_app;
 pub mod reference;
 
-pub use app::{CommMode, Fusion, JacobiConfig, RunResult, SyncMode};
-pub use geom::{best_grid, chare_to_pe, Decomp, Dims, Face, FACES};
+pub use app::{CommMode, Fusion, JacobiConfig, Placement, RunResult, SyncMode};
+pub use geom::{best_grid, chare_to_pe, place_chare, Decomp, Dims, Face, FACES};
 pub use reference::Reference;
 
 /// Run a Charm-style experiment end to end.

@@ -1,27 +1,46 @@
 //! # gaat-net — simulated interconnect
 //!
-//! A Summit-like fabric model: every node owns a NIC with separate egress
-//! (injection) and ingress (ejection) serialization queues; inter-node
-//! messages pay `latency + bytes/bandwidth` plus any queueing at either
-//! NIC. Intra-node messages travel over shared memory / NVLink and only
-//! pay a smaller latency and higher bandwidth, with no NIC involvement.
+//! The fabric owns message admission, statistics, and delivery-event
+//! scheduling, and delegates *cost* to a [`Topology`]:
 //!
-//! Delivery times are computed at send time (the model is open-loop:
-//! in-flight messages are never preempted), so the fabric needs no advance
-//! loop — it simply schedules one delivery event per message on the
-//! simulator. Congestion appears through NIC busy-window bookkeeping.
+//! - [`TopologyKind::Flat`] (default) is the Summit-like open-loop model:
+//!   every node owns a NIC with separate egress (injection) and ingress
+//!   (ejection) serialization queues; inter-node messages pay
+//!   `latency + bytes/bandwidth` plus any queueing at either NIC, and the
+//!   delivery time is fixed at send time.
+//! - [`TopologyKind::FatTree`] routes each message over an explicit link
+//!   graph (NVLink inside the node, NIC injection/ejection ports, a
+//!   two-level fat tree of trunks — see `gaat-topo`) and advances it as a
+//!   *flow* under max-min fair bandwidth sharing. Flow completion times
+//!   move whenever flows start or finish, so the fabric keeps exactly one
+//!   pending wakeup event and reschedules it through the slab/calendar
+//!   event core as the earliest completion changes.
 //!
 //! The fabric knows nothing about GPUs or protocols; the `gaat-ucx` crate
 //! layers eager/rendezvous and GPU-aware protocols on top.
 
 #![warn(missing_docs)]
 
-use gaat_sim::{Sim, SimDuration, SimRng, SimTime};
+use gaat_sim::{EventId, Sim, SimDuration, SimRng, SimTime, Tracer};
+pub use gaat_topo::{BusySpan, CongestionSummary, FatTreeParams, LinkId, LinkKind, LinkUsage};
+use gaat_topo::{FatTreeGraph, FlowSim};
 
 /// Identifier of a machine node (which hosts several PEs/GPUs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub usize);
+
+/// Which interconnect model prices and schedules messages.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TopologyKind {
+    /// Per-NIC alpha-beta model; unloaded links, delivery fixed at send.
+    #[default]
+    Flat,
+    /// Link-graph model with max-min fair sharing over a two-level fat
+    /// tree; messages contend for NVLink, NIC ports, and trunks.
+    FatTree(FatTreeParams),
+}
 
 /// Calibration constants of the fabric.
 #[derive(Debug, Clone)]
@@ -35,9 +54,11 @@ pub struct NetParams {
     pub inter_bw: f64,
     /// Intra-node copy bandwidth, bytes/second.
     pub intra_bw: f64,
-    /// Relative jitter applied to serialization times (models the paper's
+    /// Relative jitter applied to modeled times (models the paper's
     /// run-to-run variance; 0 disables).
     pub jitter: f64,
+    /// Which topology model prices messages.
+    pub topology: TopologyKind,
 }
 
 impl Default for NetParams {
@@ -50,6 +71,7 @@ impl Default for NetParams {
             inter_bw: 23.0e9,
             intra_bw: 60.0e9,
             jitter: 0.01,
+            topology: TopologyKind::Flat,
         }
     }
 }
@@ -64,6 +86,20 @@ impl NetParams {
     pub fn intra_ser(&self, bytes: u64) -> SimDuration {
         SimDuration::from_ns((bytes as f64 / self.intra_bw * 1e9).round() as u64)
     }
+}
+
+/// Coarse message class, for traffic accounting and (in topology models)
+/// future QoS; the fabric prices all classes identically today.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TrafficClass {
+    /// Bulk payload (eager data, rendezvous data, pipeline chunks).
+    #[default]
+    Data,
+    /// Protocol control (RTS/CTS handshakes).
+    Control,
+    /// Active-message envelopes.
+    Am,
 }
 
 /// A message handed to the fabric. The `token` is opaque to the fabric and
@@ -82,6 +118,8 @@ pub struct NetMsg {
     pub extra_latency: SimDuration,
     /// Opaque correlation token for the embedder.
     pub token: u64,
+    /// Traffic class, for accounting.
+    pub class: TrafficClass,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -101,31 +139,235 @@ pub struct NetStats {
     pub inter_messages: u64,
     /// Inter-node bytes only.
     pub inter_bytes: u64,
+    /// Protocol-control messages (RTS/CTS) only.
+    pub control_messages: u64,
+    /// Protocol-control bytes only.
+    pub control_bytes: u64,
+    /// Highest simultaneous flow count on any single link (topology
+    /// models only; 0 under `Flat`).
+    pub peak_link_flows: u32,
+    /// Highest per-link utilization, busy time over the traffic horizon
+    /// (topology models only; 0 under `Flat`).
+    pub max_link_utilization: f64,
+    /// The link holding `max_link_utilization`, if any traffic flowed.
+    pub hottest_link: Option<LinkId>,
 }
 
-/// The interconnect state: one NIC per node.
+/// The pricing-and-scheduling backend behind a [`Fabric`].
+///
+/// `admit` either prices the message immediately (open-loop models
+/// return `Some(delivery)`) or takes ownership of its progress and
+/// returns `None`, in which case the fabric keeps one wakeup event at
+/// [`Topology::next_wakeup`] and calls [`Topology::advance`] there to
+/// learn which in-flight slots completed — the idempotent
+/// settle/complete/reschedule state machine from `gaat-topo`.
+pub trait Topology: std::fmt::Debug + Send {
+    /// Price `msg` (already jittered by `jitter`) entering at `now`.
+    /// `flight` is the fabric's in-flight slot, echoed back through
+    /// [`Topology::advance`] for closed-loop models.
+    fn admit(&mut self, now: SimTime, msg: &NetMsg, jitter: f64, flight: u32) -> Option<SimTime>;
+
+    /// Earliest instant at which `advance` would have something to do.
+    fn next_wakeup(&self) -> Option<SimTime> {
+        None
+    }
+
+    /// Progress in-flight messages to `now`; push `(flight, deliver_at)`
+    /// for each one that completed its wire transfer.
+    fn advance(&mut self, _now: SimTime, _delivered: &mut Vec<(u32, SimTime)>) {}
+
+    /// Whole-fabric congestion summary (zero under open-loop models).
+    fn congestion(&self, _horizon: SimTime) -> CongestionSummary {
+        CongestionSummary::default()
+    }
+
+    /// Per-link counters (empty under open-loop models).
+    fn link_report(&self, _horizon: SimTime) -> Vec<LinkUsage> {
+        Vec::new()
+    }
+
+    /// Instant up to which traffic has been accounted (utilization
+    /// denominator for [`Fabric::stats`]).
+    fn horizon(&self) -> SimTime {
+        SimTime::ZERO
+    }
+
+    /// Move accumulated link busy intervals out (for tracer lanes).
+    fn drain_spans(&mut self, _out: &mut Vec<BusySpan>) {}
+
+    /// Enable or disable busy-interval recording.
+    fn set_tracing(&mut self, _on: bool) {}
+}
+
+/// The seed per-NIC alpha-beta model; delivery fixed at send time.
+#[derive(Debug)]
+struct Flat {
+    params: NetParams,
+    nics: Vec<Nic>,
+}
+
+impl Topology for Flat {
+    fn admit(&mut self, now: SimTime, msg: &NetMsg, jitter: f64, _flight: u32) -> Option<SimTime> {
+        if msg.src == msg.dst {
+            // Intra-node: latency + serialization, no NIC contention.
+            let ser = self.params.intra_ser(msg.bytes).mul_f64(jitter);
+            let lat = (self.params.intra_latency + msg.extra_latency).mul_f64(jitter);
+            return Some(now + lat + ser);
+        }
+        let ser = self.params.inter_ser(msg.bytes).mul_f64(jitter);
+        let latency = (self.params.inter_latency + msg.extra_latency).mul_f64(jitter);
+
+        // Egress: wait for the injection port, then serialize.
+        let depart = now.max(self.nics[msg.src.0].egress_free);
+        self.nics[msg.src.0].egress_free = depart + ser;
+
+        // Flight: the last byte lands `latency + ser` after departure, and
+        // the ejection port must be free for the whole serialization
+        // window ending at delivery.
+        let tail_arrival = depart + latency + ser;
+        let delivery = tail_arrival.max(self.nics[msg.dst.0].ingress_free + ser);
+        self.nics[msg.dst.0].ingress_free = delivery;
+        Some(delivery)
+    }
+}
+
+/// Fat-tree topology backend: routes each message over the link graph
+/// and advances it as a max-min fair flow; base + per-hop latency is
+/// added after the wire transfer completes, so an unloaded flow lands at
+/// `send + latency + bytes/bw` like `Flat` (plus switch hops).
+#[derive(Debug)]
+struct FatTree {
+    graph: FatTreeGraph,
+    flows: FlowSim,
+    inter_latency: SimDuration,
+    intra_latency: SimDuration,
+    hop_latency: SimDuration,
+    /// Post-transfer latency per in-flight slot, indexed by `flight`.
+    tail_latency: Vec<SimDuration>,
+    route_buf: Vec<LinkId>,
+    done_buf: Vec<u64>,
+}
+
+impl FatTree {
+    fn new(nodes: usize, params: &NetParams, ft: FatTreeParams) -> Self {
+        let graph = FatTreeGraph::new(nodes, params.intra_bw, params.inter_bw, ft);
+        let flows = FlowSim::new(graph.links().to_vec());
+        FatTree {
+            graph,
+            flows,
+            inter_latency: params.inter_latency,
+            intra_latency: params.intra_latency,
+            hop_latency: SimDuration::from_ns(ft.hop_latency_ns),
+            tail_latency: Vec::new(),
+            route_buf: Vec::new(),
+            done_buf: Vec::new(),
+        }
+    }
+}
+
+impl Topology for FatTree {
+    fn admit(&mut self, now: SimTime, msg: &NetMsg, jitter: f64, flight: u32) -> Option<SimTime> {
+        let hops = self.graph.route(msg.src.0, msg.dst.0, &mut self.route_buf);
+        let base = if msg.src == msg.dst {
+            self.intra_latency
+        } else {
+            self.inter_latency
+        };
+        let latency =
+            (base + self.hop_latency * u64::from(hops) + msg.extra_latency).mul_f64(jitter);
+        if self.tail_latency.len() <= flight as usize {
+            self.tail_latency
+                .resize(flight as usize + 1, SimDuration::ZERO);
+        }
+        self.tail_latency[flight as usize] = latency;
+        self.flows.start(
+            now,
+            &self.route_buf,
+            msg.bytes as f64 * jitter,
+            flight as u64,
+        );
+        None
+    }
+
+    fn next_wakeup(&self) -> Option<SimTime> {
+        self.flows.next_wakeup()
+    }
+
+    fn advance(&mut self, now: SimTime, delivered: &mut Vec<(u32, SimTime)>) {
+        self.done_buf.clear();
+        self.flows.advance(now, &mut self.done_buf);
+        for &flight in &self.done_buf {
+            delivered.push((flight as u32, now + self.tail_latency[flight as usize]));
+        }
+    }
+
+    fn congestion(&self, horizon: SimTime) -> CongestionSummary {
+        self.flows.congestion(horizon)
+    }
+
+    fn link_report(&self, horizon: SimTime) -> Vec<LinkUsage> {
+        self.flows.link_report(horizon)
+    }
+
+    fn horizon(&self) -> SimTime {
+        self.flows.settled_at()
+    }
+
+    fn drain_spans(&mut self, out: &mut Vec<BusySpan>) {
+        self.flows.drain_spans(out);
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.flows.set_record_spans(on);
+    }
+}
+
+/// The interconnect state: admission/stats front end over a [`Topology`].
 #[derive(Debug)]
 pub struct Fabric {
     params: NetParams,
-    nics: Vec<Nic>,
-    rng: SimRng,
+    nodes: usize,
+    topo: Box<dyn Topology>,
+    /// Seed-derived salt for per-message jitter hashing.
+    jitter_salt: u64,
     stats: NetStats,
     /// In-flight messages parked until their delivery event fires; slots
     /// are recycled so steady-state sends allocate nothing.
     in_flight: Vec<NetMsg>,
     in_flight_free: Vec<u32>,
+    /// The single pending topology wakeup event, if any.
+    wakeup: Option<(SimTime, EventId)>,
+    /// Per-link busy lanes (lane = [`LinkId`]); enable via
+    /// [`Fabric::set_tracing`] and merge into a machine timeline with
+    /// `Tracer::extend_from`.
+    pub tracer: Tracer,
+    scratch: Vec<(u32, SimTime)>,
+    span_buf: Vec<BusySpan>,
 }
 
 impl Fabric {
-    /// A fabric connecting `nodes` nodes.
-    pub fn new(nodes: usize, params: NetParams, rng: SimRng) -> Self {
+    /// A fabric connecting `nodes` nodes, with the topology selected by
+    /// `params.topology`.
+    pub fn new(nodes: usize, params: NetParams, mut rng: SimRng) -> Self {
+        let topo: Box<dyn Topology> = match params.topology {
+            TopologyKind::Flat => Box::new(Flat {
+                params: params.clone(),
+                nics: vec![Nic::default(); nodes],
+            }),
+            TopologyKind::FatTree(ft) => Box::new(FatTree::new(nodes, &params, ft)),
+        };
         Fabric {
             params,
-            nics: vec![Nic::default(); nodes],
-            rng,
+            nodes,
+            topo,
+            jitter_salt: rng.next_u64(),
             stats: NetStats::default(),
             in_flight: Vec::new(),
             in_flight_free: Vec::new(),
+            wakeup: None,
+            tracer: Tracer::new(),
+            scratch: Vec::new(),
+            span_buf: Vec::new(),
         }
     }
 
@@ -151,7 +393,7 @@ impl Fabric {
 
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
-        self.nics.len()
+        self.nodes
     }
 
     /// The calibration constants in effect.
@@ -159,44 +401,99 @@ impl Fabric {
         &self.params
     }
 
-    /// Statistics so far.
+    /// Statistics so far. Congestion fields are folded in from the
+    /// topology using its traffic horizon as the utilization denominator
+    /// (zero under `Flat`).
     pub fn stats(&self) -> NetStats {
-        self.stats
+        let mut stats = self.stats;
+        let summary = self.topo.congestion(self.topo.horizon());
+        stats.peak_link_flows = summary.peak_link_flows;
+        stats.max_link_utilization = summary.max_link_utilization;
+        stats.hottest_link = summary.hottest_link;
+        stats
     }
 
-    /// Compute the delivery time of `msg` sent at `now` and commit the NIC
-    /// busy windows. Does not schedule anything — [`send`] wraps this with
-    /// event scheduling.
-    pub fn commit(&mut self, now: SimTime, msg: &NetMsg) -> SimTime {
+    /// Per-link counters over `[0, horizon]` (empty under `Flat`).
+    pub fn link_report(&self, horizon: SimTime) -> Vec<LinkUsage> {
+        self.topo.link_report(horizon)
+    }
+
+    /// Whole-fabric congestion summary over `[0, horizon]`.
+    pub fn congestion(&self, horizon: SimTime) -> CongestionSummary {
+        self.topo.congestion(horizon)
+    }
+
+    /// Enable or disable per-link busy-span recording into
+    /// [`Fabric::tracer`].
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracer.set_enabled(on);
+        self.topo.set_tracing(on);
+    }
+
+    /// Update message/byte counters for `msg`.
+    fn account(&mut self, msg: &NetMsg) {
         self.stats.messages += 1;
         self.stats.bytes += msg.bytes;
-        let jitter = if self.params.jitter > 0.0 {
-            self.rng.jitter(self.params.jitter)
-        } else {
-            1.0
-        };
-        if msg.src == msg.dst {
-            // Intra-node: latency + serialization, no NIC contention.
-            let ser = self.params.intra_ser(msg.bytes).mul_f64(jitter);
-            let lat = (self.params.intra_latency + msg.extra_latency).mul_f64(jitter);
-            return now + lat + ser;
+        if msg.src != msg.dst {
+            self.stats.inter_messages += 1;
+            self.stats.inter_bytes += msg.bytes;
         }
-        self.stats.inter_messages += 1;
-        self.stats.inter_bytes += msg.bytes;
-        let ser = self.params.inter_ser(msg.bytes).mul_f64(jitter);
-        let latency = (self.params.inter_latency + msg.extra_latency).mul_f64(jitter);
+        if msg.class == TrafficClass::Control {
+            self.stats.control_messages += 1;
+            self.stats.control_bytes += msg.bytes;
+        }
+    }
 
-        // Egress: wait for the injection port, then serialize.
-        let depart = now.max(self.nics[msg.src.0].egress_free);
-        self.nics[msg.src.0].egress_free = depart + ser;
+    /// Multiplicative jitter factor for `msg`, uniform in
+    /// `[1 - jitter, 1 + jitter]`.
+    ///
+    /// The factor is a pure hash of `(salt, src, dst, token)` — not a
+    /// draw from a shared RNG stream — so a message's modeled latency
+    /// depends only on its own identity: adding or reordering unrelated
+    /// traffic cannot perturb existing messages. The salt comes from the
+    /// fabric's seed, so distinct seeds still model distinct "runs".
+    fn draw_jitter(&self, msg: &NetMsg) -> f64 {
+        let eps = self.params.jitter;
+        if eps <= 0.0 {
+            return 1.0;
+        }
+        let h = gaat_sim::mix64(
+            self.jitter_salt
+                ^ (msg.src.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (msg.dst.0 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                ^ msg.token.wrapping_mul(0x1656_67B1_9E37_79F9),
+        );
+        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        1.0 + eps * (2.0 * unit - 1.0)
+    }
 
-        // Flight: the last byte lands `latency + ser` after departure, and
-        // the ejection port must be free for the whole serialization
-        // window ending at delivery.
-        let tail_arrival = depart + latency + ser;
-        let delivery = tail_arrival.max(self.nics[msg.dst.0].ingress_free + ser);
-        self.nics[msg.dst.0].ingress_free = delivery;
-        delivery
+    /// Compute the delivery time of `msg` sent at `now` and commit the
+    /// topology state. Only valid for open-loop topologies (`Flat`),
+    /// which price messages at admission; [`send`] works for every
+    /// topology and wraps admission with event scheduling.
+    pub fn commit(&mut self, now: SimTime, msg: &NetMsg) -> SimTime {
+        self.account(msg);
+        let jitter = self.draw_jitter(msg);
+        self.topo
+            .admit(now, msg, jitter, u32::MAX)
+            .expect("commit() requires an open-loop topology; route sends through send()")
+    }
+
+    /// Advance the topology to `now`, collect completed transfers into
+    /// `out` as `(in-flight slot, delivery instant)`, and drain link
+    /// busy spans into the fabric tracer.
+    pub fn tick_topology(&mut self, now: SimTime, out: &mut Vec<(u32, SimTime)>) {
+        self.topo.advance(now, out);
+        if self.tracer.is_enabled() {
+            let mut spans = std::mem::take(&mut self.span_buf);
+            self.topo.drain_spans(&mut spans);
+            for s in &spans {
+                self.tracer
+                    .record(s.link.0, "link", s.kind.label(), s.start, s.end);
+            }
+            spans.clear();
+            self.span_buf = spans;
+        }
     }
 }
 
@@ -209,19 +506,70 @@ pub trait NetHost: Sized + 'static {
     fn on_net_deliver(&mut self, sim: &mut Sim<Self>, msg: NetMsg);
 }
 
-/// Send a message: computes its delivery time against current NIC state
-/// and schedules the delivery callback. The message parks in the fabric's
-/// in-flight slab and the event carries only its index (closure-free).
+/// Send a message. Open-loop topologies price it immediately and one
+/// delivery event is scheduled; flow topologies admit it into the link
+/// graph and the fabric's single wakeup event is rescheduled to the new
+/// earliest completion. Either way the message parks in the fabric's
+/// in-flight slab and events carry only its index (closure-free).
 pub fn send<W: NetHost>(w: &mut W, sim: &mut Sim<W>, msg: NetMsg) {
+    let now = sim.now();
     let fabric = w.fabric_mut();
-    let at = fabric.commit(sim.now(), &msg);
+    fabric.account(&msg);
+    let jitter = fabric.draw_jitter(&msg);
     let idx = fabric.stash(msg);
-    sim.at_call1(at, deliver::<W>, idx as u64);
+    match fabric.topo.admit(now, &msg, jitter, idx) {
+        Some(at) => {
+            sim.at_call1(at, deliver::<W>, idx as u64);
+        }
+        None => reconcile_wakeup(w, sim),
+    }
 }
 
 fn deliver<W: NetHost>(w: &mut W, sim: &mut Sim<W>, idx: u64) {
     let msg = w.fabric_mut().unstash(idx as u32);
     w.on_net_deliver(sim, msg);
+}
+
+/// Keep exactly one pending tick event at the topology's next wakeup.
+fn reconcile_wakeup<W: NetHost>(w: &mut W, sim: &mut Sim<W>) {
+    let fabric = w.fabric_mut();
+    let want = fabric.topo.next_wakeup();
+    let stale = match (fabric.wakeup, want) {
+        (Some((at, _)), Some(next)) => at != next,
+        (None, Some(_)) => true,
+        (Some(_), None) => true,
+        (None, None) => false,
+    };
+    if !stale {
+        return;
+    }
+    if let Some((_, id)) = fabric.wakeup.take() {
+        sim.cancel(id);
+    }
+    if let Some(next) = want {
+        let id = sim.at_call0(next, tick::<W>);
+        w.fabric_mut().wakeup = Some((next, id));
+    }
+}
+
+/// Topology wakeup: complete transfers due at `now`, schedule their
+/// delivery events, and re-arm the next wakeup.
+fn tick<W: NetHost>(w: &mut W, sim: &mut Sim<W>) {
+    let now = sim.now();
+    let mut out = {
+        let fabric = w.fabric_mut();
+        fabric.wakeup = None;
+        let mut out = std::mem::take(&mut fabric.scratch);
+        out.clear();
+        fabric.tick_topology(now, &mut out);
+        out
+    };
+    for &(flight, at) in &out {
+        sim.at_call1(at, deliver::<W>, flight as u64);
+    }
+    out.clear();
+    w.fabric_mut().scratch = out;
+    reconcile_wakeup(w, sim);
 }
 
 #[cfg(test)]
@@ -243,6 +591,7 @@ mod tests {
             bytes,
             extra_latency: SimDuration::ZERO,
             token: 0,
+            class: TrafficClass::Data,
         }
     }
 
@@ -326,15 +675,44 @@ mod tests {
     }
 
     #[test]
+    fn jitter_is_per_message_not_draw_order() {
+        // A message's jitter hashes from (src, dst, token), so unrelated
+        // traffic on a disjoint pair cannot perturb its delivery time.
+        let params = NetParams {
+            jitter: 0.05,
+            ..NetParams::default()
+        };
+        let mut probe = msg(0, 1, 1 << 16);
+        probe.token = 77;
+
+        let mut quiet = Fabric::new(4, params.clone(), SimRng::new(9));
+        let t_quiet = quiet.commit(SimTime::ZERO, &probe);
+
+        let mut busy = Fabric::new(4, params, SimRng::new(9));
+        for i in 0..5 {
+            let mut noise = msg(2, 3, 10_000);
+            noise.token = 1_000 + i;
+            busy.commit(SimTime::ZERO, &noise);
+        }
+        let t_busy = busy.commit(SimTime::ZERO, &probe);
+        assert_eq!(t_quiet, t_busy);
+    }
+
+    #[test]
     fn stats_account_messages() {
         let mut f = fabric(2);
         f.commit(SimTime::ZERO, &msg(0, 1, 100));
         f.commit(SimTime::ZERO, &msg(0, 0, 50));
+        let mut ctl = msg(0, 1, 16);
+        ctl.class = TrafficClass::Control;
+        f.commit(SimTime::ZERO, &ctl);
         let s = f.stats();
-        assert_eq!(s.messages, 2);
-        assert_eq!(s.bytes, 150);
-        assert_eq!(s.inter_messages, 1);
-        assert_eq!(s.inter_bytes, 100);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.bytes, 166);
+        assert_eq!(s.inter_messages, 2);
+        assert_eq!(s.inter_bytes, 116);
+        assert_eq!(s.control_messages, 1);
+        assert_eq!(s.control_bytes, 16);
     }
 
     #[test]
@@ -380,5 +758,135 @@ mod tests {
         }
         let expect = f.params.inter_latency + f.params.inter_ser(chunk) * 8;
         assert_eq!(last.as_ns(), expect.as_ns());
+    }
+
+    // ---- fat-tree topology ------------------------------------------
+
+    fn ft_fabric(nodes: usize, ft: FatTreeParams) -> Fabric {
+        let params = NetParams {
+            jitter: 0.0,
+            topology: TopologyKind::FatTree(ft),
+            ..NetParams::default()
+        };
+        Fabric::new(nodes, params, SimRng::new(1))
+    }
+
+    struct FtWorld {
+        fabric: Fabric,
+        got: Vec<(u64, SimTime)>,
+    }
+    impl NetHost for FtWorld {
+        fn fabric_mut(&mut self) -> &mut Fabric {
+            &mut self.fabric
+        }
+        fn on_net_deliver(&mut self, sim: &mut Sim<Self>, msg: NetMsg) {
+            self.got.push((msg.token, sim.now()));
+        }
+    }
+
+    fn ft_run(fabric: Fabric, msgs: Vec<NetMsg>) -> (FtWorld, Sim<FtWorld>) {
+        let mut w = FtWorld {
+            fabric,
+            got: vec![],
+        };
+        let mut sim: Sim<FtWorld> = Sim::new();
+        for m in msgs {
+            sim.soon(move |w: &mut FtWorld, sim: &mut Sim<FtWorld>| send(w, sim, m));
+        }
+        sim.run(&mut w);
+        (w, sim)
+    }
+
+    #[test]
+    fn fat_tree_unloaded_matches_flat_within_a_hop() {
+        // One message, same leaf: FatTree should agree with Flat up to
+        // the explicit switch-hop latency.
+        let ft = FatTreeParams::default();
+        let hop = ft.hop_latency_ns;
+        let mut m = msg(0, 1, 1 << 20);
+        m.token = 1;
+        let (w, _) = ft_run(ft_fabric(2, ft), vec![m]);
+        let flat = fabric(2).commit(SimTime::ZERO, &m);
+        let got = w.got[0].1.as_ns();
+        let want = flat.as_ns() + hop;
+        let diff = got.abs_diff(want);
+        assert!(diff <= 2, "fat-tree {got} vs flat+hop {want}");
+    }
+
+    #[test]
+    fn fat_tree_shares_trunk_bandwidth() {
+        // Two nodes on leaf 0 each stream to a distinct node on leaf 1
+        // through the same spine trunk: both transfers take twice the
+        // unloaded wire time.
+        let ft = FatTreeParams {
+            leaf_radix: 2,
+            spines: 1,
+            trunk_bw: 23.0e9, // trunk as fast as one NIC -> it bottlenecks
+            hop_latency_ns: 0,
+        };
+        let bytes = 1u64 << 20;
+        let mut a = msg(0, 2, bytes);
+        a.token = 1;
+        let mut b = msg(1, 3, bytes);
+        b.token = 2;
+        let (w, _) = ft_run(ft_fabric(4, ft), vec![a, b]);
+        assert_eq!(w.got.len(), 2);
+        let unloaded = NetParams::default().inter_ser(bytes).as_ns();
+        let lat = NetParams::default().inter_latency.as_ns();
+        for &(_, at) in &w.got {
+            let wire = at.as_ns() - lat;
+            let ratio = wire as f64 / (2 * unloaded) as f64;
+            assert!(
+                (0.98..=1.02).contains(&ratio),
+                "each flow should see ~half the trunk: {ratio}"
+            );
+        }
+        let stats = w.fabric.stats();
+        assert_eq!(stats.peak_link_flows, 2);
+        assert!(
+            stats.max_link_utilization > 0.9,
+            "shared trunk should be hot: {}",
+            stats.max_link_utilization
+        );
+        assert!(stats.hottest_link.is_some());
+    }
+
+    #[test]
+    fn fat_tree_send_replays_exactly() {
+        let ft = FatTreeParams {
+            leaf_radix: 2,
+            spines: 2,
+            ..FatTreeParams::default()
+        };
+        let run = || {
+            let mut msgs = Vec::new();
+            for i in 0..12u64 {
+                let mut m = msg((i % 4) as usize, ((i * 3 + 1) % 4) as usize, 1 << 16);
+                m.token = i;
+                msgs.push(m);
+            }
+            let (w, sim) = ft_run(ft_fabric(4, ft), msgs);
+            (w.got.clone(), sim.now())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fat_tree_records_link_spans_when_traced() {
+        let ft = FatTreeParams {
+            leaf_radix: 2,
+            spines: 1,
+            ..FatTreeParams::default()
+        };
+        let mut fabric = ft_fabric(4, ft);
+        fabric.set_tracing(true);
+        let mut m = msg(0, 3, 1 << 20);
+        m.token = 9;
+        let (w, _) = ft_run(fabric, vec![m]);
+        assert!(
+            !w.fabric.tracer.spans().is_empty(),
+            "link busy spans should land in the fabric tracer"
+        );
+        assert!(w.fabric.tracer.spans().iter().any(|s| s.label == "leaf-up"));
     }
 }

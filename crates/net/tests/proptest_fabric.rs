@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use gaat_net::{Fabric, NetMsg, NetParams, NodeId};
+use gaat_net::{Fabric, NetMsg, NetParams, NodeId, TrafficClass};
 use gaat_sim::{SimDuration, SimRng, SimTime};
 
 fn fabric(nodes: usize) -> Fabric {
@@ -34,6 +34,7 @@ proptest! {
                 bytes,
                 extra_latency: SimDuration::ZERO,
                 token: 0,
+                class: TrafficClass::Data,
             };
             let delivered = f.commit(now, &m);
             let floor = now + params.inter_latency + params.inter_ser(bytes);
@@ -61,6 +62,7 @@ proptest! {
                 bytes,
                 extra_latency: SimDuration::ZERO,
                 token: 0,
+                class: TrafficClass::Data,
             };
             last = last.max(f.commit(SimTime::ZERO, &m));
         }
@@ -85,6 +87,7 @@ proptest! {
             bytes: probe_bytes,
             extra_latency: SimDuration::ZERO,
             token: 0,
+            class: TrafficClass::Data,
         };
         let t_quiet = quiet.commit(SimTime::ZERO, &probe);
 
@@ -96,6 +99,7 @@ proptest! {
                 bytes,
                 extra_latency: SimDuration::ZERO,
                 token: 0,
+                class: TrafficClass::Data,
             };
             busy.commit(SimTime::ZERO, &m);
         }
@@ -121,6 +125,7 @@ proptest! {
                 bytes: msgs[i].0,
                 extra_latency: SimDuration::ZERO,
                 token: i as u64,
+                class: TrafficClass::Data,
             };
             let d = f.commit(SimTime::from_ns(at), &m);
             prop_assert!(

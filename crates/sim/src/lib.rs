@@ -29,7 +29,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{EventFn, EventId, RunOutcome, Sim};
-pub use rng::SimRng;
+pub use rng::{mix64, SimRng};
 pub use stats::{Accumulator, BusyTracker, IterationTimer, LogHistogram};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Span, SpanStats, Tracer};

@@ -11,7 +11,16 @@
 #[inline]
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
+    mix64(*state)
+}
+
+/// The SplitMix64 finalizer as a stateless `u64 -> u64` hash. Model code
+/// uses this to derive per-entity randomness from stable identifiers
+/// (e.g. per-message jitter from `(src, dst, token)`) so that unrelated
+/// draws elsewhere cannot perturb the result.
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

@@ -1,0 +1,143 @@
+//! Two-level fat tree (leaf + spine) with static deterministic routing.
+//!
+//! Nodes attach to leaf switches in blocks of `leaf_radix`; every leaf
+//! connects to every spine by one trunk in each direction. Routing is
+//! destination-mod-k: a cross-leaf message always climbs to spine
+//! `dst % spines`, so a fixed traffic pattern always stresses the same
+//! trunks — deterministic and adversarial-pattern-capable, like the
+//! static routing tables on real EDR fabrics.
+
+use crate::{LinkDesc, LinkId, LinkKind};
+
+/// Shape and calibration of the inter-node fat tree. Intra-node NVLink
+/// and NIC port bandwidths come from `NetParams` so `Flat` and `FatTree`
+/// share the same endpoint calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FatTreeParams {
+    /// Nodes per leaf switch.
+    pub leaf_radix: usize,
+    /// Number of spine switches (each leaf has one up/down trunk pair
+    /// per spine).
+    pub spines: usize,
+    /// Bandwidth of one leaf<->spine trunk, bytes/second.
+    pub trunk_bw: f64,
+    /// Extra latency per switch hop traversed, nanoseconds.
+    pub hop_latency_ns: u64,
+}
+
+impl Default for FatTreeParams {
+    fn default() -> Self {
+        // Summit-like: 18 nodes per director-group leaf, 4 uplink
+        // planes, EDR 100 Gb/s trunks, ~150 ns per switch ASIC.
+        FatTreeParams {
+            leaf_radix: 18,
+            spines: 4,
+            trunk_bw: 24.0e9,
+            hop_latency_ns: 150,
+        }
+    }
+}
+
+/// The link graph plus routing tables for one machine.
+///
+/// Link layout (indices into the flow simulation's link table):
+/// - `[0, nodes)`               per-node NVLink (intra-node loopback)
+/// - `[nodes, 2*nodes)`         per-node NIC injection (node -> leaf)
+/// - `[2*nodes, 3*nodes)`       per-node NIC ejection (leaf -> node)
+/// - `3*nodes + 2*(l*spines+s)` trunk up, leaf `l` -> spine `s`
+/// - ... `+ 1`                  trunk down, spine `s` -> leaf `l`
+#[derive(Debug)]
+pub struct FatTreeGraph {
+    nodes: usize,
+    params: FatTreeParams,
+    links: Vec<LinkDesc>,
+}
+
+impl FatTreeGraph {
+    pub fn new(nodes: usize, nvlink_bw: f64, nic_bw: f64, params: FatTreeParams) -> Self {
+        assert!(nodes > 0, "fat tree needs at least one node");
+        assert!(params.leaf_radix > 0 && params.spines > 0 && params.trunk_bw > 0.0);
+        let leaves = nodes.div_ceil(params.leaf_radix);
+        let mut links = Vec::with_capacity(3 * nodes + 2 * leaves * params.spines);
+        for _ in 0..nodes {
+            links.push(LinkDesc {
+                kind: LinkKind::NvLink,
+                bw: nvlink_bw,
+            });
+        }
+        for _ in 0..nodes {
+            links.push(LinkDesc {
+                kind: LinkKind::NicUp,
+                bw: nic_bw,
+            });
+        }
+        for _ in 0..nodes {
+            links.push(LinkDesc {
+                kind: LinkKind::NicDown,
+                bw: nic_bw,
+            });
+        }
+        for _ in 0..leaves {
+            for _ in 0..params.spines {
+                links.push(LinkDesc {
+                    kind: LinkKind::LeafUp,
+                    bw: params.trunk_bw,
+                });
+                links.push(LinkDesc {
+                    kind: LinkKind::LeafDown,
+                    bw: params.trunk_bw,
+                });
+            }
+        }
+        FatTreeGraph {
+            nodes,
+            params,
+            links,
+        }
+    }
+
+    pub fn params(&self) -> &FatTreeParams {
+        &self.params
+    }
+
+    /// Link descriptors in [`LinkId`] order, for seeding a `FlowSim`.
+    pub fn links(&self) -> &[LinkDesc] {
+        &self.links
+    }
+
+    pub fn leaf_of(&self, node: usize) -> usize {
+        node / self.params.leaf_radix
+    }
+
+    fn trunk_up(&self, leaf: usize, spine: usize) -> LinkId {
+        LinkId((3 * self.nodes + 2 * (leaf * self.params.spines + spine)) as u32)
+    }
+
+    fn trunk_down(&self, leaf: usize, spine: usize) -> LinkId {
+        LinkId((3 * self.nodes + 2 * (leaf * self.params.spines + spine) + 1) as u32)
+    }
+
+    /// Write the static route from `src` to `dst` into `out` and return
+    /// the number of switch hops traversed (for latency accounting).
+    pub fn route(&self, src: usize, dst: usize, out: &mut Vec<LinkId>) -> u32 {
+        debug_assert!(src < self.nodes && dst < self.nodes);
+        out.clear();
+        if src == dst {
+            out.push(LinkId(src as u32));
+            return 0;
+        }
+        out.push(LinkId((self.nodes + src) as u32));
+        let (src_leaf, dst_leaf) = (self.leaf_of(src), self.leaf_of(dst));
+        let hops = if src_leaf == dst_leaf {
+            1 // one leaf switch
+        } else {
+            let spine = dst % self.params.spines;
+            out.push(self.trunk_up(src_leaf, spine));
+            out.push(self.trunk_down(dst_leaf, spine));
+            3 // leaf, spine, leaf
+        };
+        out.push(LinkId((2 * self.nodes + dst) as u32));
+        hops
+    }
+}

@@ -1,0 +1,344 @@
+//! Max-min fair flow simulation over a static link graph.
+//!
+//! Rates are piecewise-constant: they only change when a flow starts or
+//! finishes. Between those instants every flow drains at its assigned
+//! rate, so the caller can sleep until `next_wakeup()` and then call
+//! `advance(now)` — an idempotent settle/complete/recompute step — to
+//! collect finished flow tokens and learn the next wakeup instant.
+//!
+//! Rate assignment is progressive water-filling: find the bottleneck
+//! link (smallest capacity-left / unfrozen-flows share), freeze every
+//! unfrozen flow crossing it at that share, subtract the frozen rates
+//! from every link they cross, repeat. Ties break on the lower link id
+//! so the result is independent of iteration order.
+
+use crate::{BusySpan, CongestionSummary, LinkDesc, LinkId, LinkUsage};
+use gaat_sim::SimTime;
+
+/// Flows with no more than this many bytes left are complete. Guards the
+/// f64 drain arithmetic against never quite reaching zero.
+pub const EPS_BYTES: f64 = 1e-6;
+
+#[derive(Debug)]
+struct FlowSlot {
+    route: Vec<LinkId>,
+    /// Bytes still to transfer.
+    remaining: f64,
+    /// Assigned rate, bytes per nanosecond.
+    rate: f64,
+    /// Projected completion instant under the current rates.
+    eta: SimTime,
+    /// Caller's correlation token, returned on completion.
+    token: u64,
+    /// Water-filling scratch: rate already fixed this round.
+    frozen: bool,
+    live: bool,
+}
+
+#[derive(Debug)]
+struct LinkState {
+    desc: LinkDesc,
+    /// Capacity in bytes per nanosecond.
+    cap: f64,
+    active: u32,
+    bytes: f64,
+    busy_ns: u64,
+    busy_since: SimTime,
+    peak: u32,
+    // Water-filling scratch, valid when `mark == FlowSim::epoch`.
+    cap_left: f64,
+    unfrozen: u32,
+    mark: u64,
+}
+
+/// The flow-level interconnect state machine. See the module docs.
+#[derive(Debug)]
+pub struct FlowSim {
+    flows: Vec<FlowSlot>,
+    free: Vec<u32>,
+    /// Live flow slots in admission order (drives deterministic
+    /// completion ordering and the water-filling scan).
+    live: Vec<u32>,
+    links: Vec<LinkState>,
+    /// Instant up to which all flows have been drained.
+    settled_at: SimTime,
+    next_eta: Option<SimTime>,
+    epoch: u64,
+    closed: Vec<BusySpan>,
+    record_spans: bool,
+    /// Number of water-filling passes run; exported for the perf bench.
+    pub recomputes: u64,
+}
+
+impl FlowSim {
+    pub fn new(links: Vec<LinkDesc>) -> Self {
+        let links = links
+            .into_iter()
+            .map(|desc| LinkState {
+                desc,
+                cap: desc.bw / 1e9,
+                active: 0,
+                bytes: 0.0,
+                busy_ns: 0,
+                busy_since: SimTime::ZERO,
+                peak: 0,
+                cap_left: 0.0,
+                unfrozen: 0,
+                mark: 0,
+            })
+            .collect();
+        FlowSim {
+            flows: Vec::new(),
+            free: Vec::new(),
+            live: Vec::new(),
+            links,
+            settled_at: SimTime::ZERO,
+            next_eta: None,
+            epoch: 0,
+            closed: Vec::new(),
+            record_spans: false,
+            recomputes: 0,
+        }
+    }
+
+    pub fn set_record_spans(&mut self, on: bool) {
+        self.record_spans = on;
+    }
+
+    pub fn active_flows(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Instant up to which flows have been drained (the traffic horizon).
+    pub fn settled_at(&self) -> SimTime {
+        self.settled_at
+    }
+
+    /// Earliest instant at which some flow completes, if any are live.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        self.next_eta
+    }
+
+    /// Admit a new flow over `route` carrying `bytes`. The token is
+    /// returned by `advance` when the flow finishes. Rates of flows
+    /// sharing links shrink immediately; the caller must re-read
+    /// `next_wakeup()` afterwards.
+    pub fn start(&mut self, now: SimTime, route: &[LinkId], bytes: f64, token: u64) {
+        self.settle(now);
+        let slot = FlowSlot {
+            route: route.to_vec(),
+            remaining: bytes.max(0.0),
+            rate: 0.0,
+            eta: now,
+            token,
+            frozen: false,
+            live: true,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.flows[i as usize] = slot;
+                i
+            }
+            None => {
+                self.flows.push(slot);
+                (self.flows.len() - 1) as u32
+            }
+        };
+        self.live.push(idx);
+        for &LinkId(l) in &self.flows[idx as usize].route {
+            let link = &mut self.links[l as usize];
+            if link.active == 0 {
+                link.busy_since = now;
+            }
+            link.active += 1;
+            link.peak = link.peak.max(link.active);
+        }
+        self.recompute();
+    }
+
+    /// Drain flows to `now`, push tokens of completed flows onto `done`
+    /// (admission order), release their links, and recompute rates.
+    /// Safe to call at any instant >= the last settle point.
+    pub fn advance(&mut self, now: SimTime, done: &mut Vec<u64>) {
+        self.settle(now);
+        let Self {
+            flows,
+            free,
+            live,
+            links,
+            closed,
+            record_spans,
+            ..
+        } = self;
+        let before = live.len();
+        live.retain(|&idx| {
+            let flow = &mut flows[idx as usize];
+            if flow.remaining > EPS_BYTES {
+                return true;
+            }
+            done.push(flow.token);
+            flow.live = false;
+            for &LinkId(l) in &flow.route {
+                let link = &mut links[l as usize];
+                link.active -= 1;
+                if link.active == 0 {
+                    link.busy_ns += now.since(link.busy_since).as_ns();
+                    if *record_spans && now > link.busy_since {
+                        closed.push(BusySpan {
+                            link: LinkId(l),
+                            kind: link.desc.kind,
+                            start: link.busy_since,
+                            end: now,
+                        });
+                    }
+                }
+            }
+            free.push(idx);
+            false
+        });
+        if live.len() != before {
+            self.recompute();
+        }
+    }
+
+    /// Move accumulated busy intervals out (for tracer lanes).
+    pub fn drain_spans(&mut self, out: &mut Vec<BusySpan>) {
+        out.append(&mut self.closed);
+    }
+
+    /// Per-link counters; `horizon` is the sim end used both to close
+    /// still-busy intervals and as the utilization denominator.
+    pub fn link_report(&self, horizon: SimTime) -> Vec<LinkUsage> {
+        let total = horizon.as_ns().max(1);
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, link)| {
+                let mut busy = link.busy_ns;
+                if link.active > 0 && horizon > link.busy_since {
+                    busy += horizon.since(link.busy_since).as_ns();
+                }
+                LinkUsage {
+                    link: LinkId(i as u32),
+                    kind: link.desc.kind,
+                    bytes: link.bytes,
+                    busy_ns: busy,
+                    peak_flows: link.peak,
+                    utilization: busy as f64 / total as f64,
+                }
+            })
+            .collect()
+    }
+
+    pub fn congestion(&self, horizon: SimTime) -> CongestionSummary {
+        let mut out = CongestionSummary::default();
+        for usage in self.link_report(horizon) {
+            out.peak_link_flows = out.peak_link_flows.max(usage.peak_flows);
+            if usage.busy_ns > 0 && usage.utilization > out.max_link_utilization {
+                out.max_link_utilization = usage.utilization;
+                out.hottest_link = Some(usage.link);
+            }
+        }
+        out
+    }
+
+    /// Drain every live flow at its current rate up to `now`.
+    fn settle(&mut self, now: SimTime) {
+        debug_assert!(now >= self.settled_at, "settle moved backwards");
+        let dt = now.since(self.settled_at).as_ns() as f64;
+        if dt > 0.0 {
+            let Self {
+                flows, live, links, ..
+            } = self;
+            for &idx in live.iter() {
+                let flow = &mut flows[idx as usize];
+                let carried = (flow.rate * dt).min(flow.remaining);
+                flow.remaining -= carried;
+                for &LinkId(l) in &flow.route {
+                    links[l as usize].bytes += carried;
+                }
+            }
+        }
+        self.settled_at = now;
+    }
+
+    /// Progressive water-filling over the links touched by live flows.
+    fn recompute(&mut self) {
+        self.recomputes += 1;
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let Self {
+            flows, live, links, ..
+        } = self;
+
+        // Reset scratch on touched links; count their unfrozen flows.
+        let mut touched: Vec<u32> = Vec::new();
+        for &idx in live.iter() {
+            let flow = &mut flows[idx as usize];
+            flow.frozen = false;
+            flow.rate = 0.0;
+            for &LinkId(l) in &flow.route {
+                let link = &mut links[l as usize];
+                if link.mark != epoch {
+                    link.mark = epoch;
+                    link.cap_left = link.cap;
+                    link.unfrozen = 0;
+                    touched.push(l);
+                }
+                link.unfrozen += 1;
+            }
+        }
+
+        let mut remaining_flows = live.len();
+        while remaining_flows > 0 {
+            // Bottleneck: smallest per-flow share; ties to the lower id.
+            let mut best: Option<(f64, u32)> = None;
+            for &l in &touched {
+                let link = &links[l as usize];
+                if link.unfrozen == 0 {
+                    continue;
+                }
+                let share = link.cap_left / link.unfrozen as f64;
+                match best {
+                    Some((s, b)) if (share, l) >= (s, b) => {}
+                    _ => best = Some((share, l)),
+                }
+            }
+            let Some((share, bottleneck)) = best else {
+                break;
+            };
+            let share = share.max(0.0);
+            for &idx in live.iter() {
+                let flow = &mut flows[idx as usize];
+                if flow.frozen || !flow.route.contains(&LinkId(bottleneck)) {
+                    continue;
+                }
+                flow.frozen = true;
+                flow.rate = share;
+                remaining_flows -= 1;
+                for &LinkId(l) in &flow.route {
+                    let link = &mut links[l as usize];
+                    link.cap_left = (link.cap_left - share).max(0.0);
+                    link.unfrozen -= 1;
+                }
+            }
+        }
+
+        // Project completion instants under the new rates.
+        self.next_eta = None;
+        for &idx in self.live.iter() {
+            let flow = &mut self.flows[idx as usize];
+            flow.eta = if flow.remaining <= EPS_BYTES {
+                self.settled_at
+            } else {
+                debug_assert!(flow.rate > 0.0, "live flow with zero rate");
+                let ns = (flow.remaining / flow.rate).ceil().max(1.0) as u64;
+                self.settled_at + gaat_sim::SimDuration::from_ns(ns)
+            };
+            self.next_eta = Some(match self.next_eta {
+                Some(t) => t.min(flow.eta),
+                None => flow.eta,
+            });
+        }
+    }
+}

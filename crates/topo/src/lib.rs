@@ -1,0 +1,96 @@
+//! Topology-aware interconnect model.
+//!
+//! The machine is a graph of directed links (NVLink/X-bus inside a node,
+//! NIC injection/ejection ports, and a two-level fat tree of EDR trunks
+//! between nodes). Messages become *flows*: a flow occupies every link on
+//! its static route and the set of concurrent flows shares each link's
+//! bandwidth max-min fairly. Whenever a flow starts or finishes, the
+//! affected rates are recomputed and in-flight completion times move —
+//! the caller reschedules them through its event queue using the
+//! idempotent `FlowSim::advance` / `next_wakeup` state machine.
+//!
+//! The crate is deliberately free of event-queue types beyond
+//! [`gaat_sim::SimTime`]: `gaat-net` owns the wiring into the engine.
+
+mod fattree;
+mod flow;
+
+pub use fattree::{FatTreeGraph, FatTreeParams};
+pub use flow::{FlowSim, EPS_BYTES};
+
+use gaat_sim::SimTime;
+
+/// Index of a directed link in a topology graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+/// What a link physically is; used for labelling stats and trace lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Intra-node GPU/host interconnect (NVLink / X-bus).
+    NvLink,
+    /// NIC injection port (node -> leaf switch).
+    NicUp,
+    /// NIC ejection port (leaf switch -> node).
+    NicDown,
+    /// Leaf-to-spine trunk (up direction).
+    LeafUp,
+    /// Spine-to-leaf trunk (down direction).
+    LeafDown,
+}
+
+impl LinkKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkKind::NvLink => "nvlink",
+            LinkKind::NicUp => "nic-up",
+            LinkKind::NicDown => "nic-down",
+            LinkKind::LeafUp => "leaf-up",
+            LinkKind::LeafDown => "leaf-down",
+        }
+    }
+}
+
+/// Static description of one directed link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkDesc {
+    pub kind: LinkKind,
+    /// Capacity in bytes/second.
+    pub bw: f64,
+}
+
+/// Per-link counters accumulated by the flow simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkUsage {
+    pub link: LinkId,
+    pub kind: LinkKind,
+    /// Total bytes carried.
+    pub bytes: f64,
+    /// Nanoseconds during which at least one flow crossed the link.
+    pub busy_ns: u64,
+    /// Highest number of simultaneous flows observed.
+    pub peak_flows: u32,
+    /// busy_ns / horizon_ns as given to [`FlowSim::link_report`].
+    pub utilization: f64,
+}
+
+/// Whole-fabric congestion summary, cheap enough to fold into `NetStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CongestionSummary {
+    /// Highest simultaneous flow count seen on any single link.
+    pub peak_link_flows: u32,
+    /// Highest per-link utilization (busy time / horizon).
+    pub max_link_utilization: f64,
+    /// Link holding `max_link_utilization`, if any traffic flowed.
+    pub hottest_link: Option<LinkId>,
+}
+
+/// A closed interval during which a link was busy; drained by the caller
+/// into tracer lanes.
+#[derive(Debug, Clone, Copy)]
+pub struct BusySpan {
+    pub link: LinkId,
+    pub kind: LinkKind,
+    pub start: SimTime,
+    pub end: SimTime,
+}

@@ -29,7 +29,7 @@
 use std::collections::HashMap;
 
 use gaat_gpu::{BufRange, CompletionTag, DeviceId, GpuHost, Op, Space, StreamId};
-use gaat_net::{NetHost, NetMsg, NodeId};
+use gaat_net::{NetHost, NetMsg, NodeId, TrafficClass};
 use gaat_sim::{Sim, SimDuration};
 
 /// A communication endpoint — one per PE/process (and therefore one per
@@ -369,6 +369,7 @@ pub fn isend<W: UcxHost>(
                     bytes: bytes + header,
                     extra_latency: SimDuration::ZERO,
                     token,
+                    class: TrafficClass::Data,
                 },
             );
             sim.soon_call2(eager_send_done::<W>, from.0 as u64, user);
@@ -394,6 +395,7 @@ pub fn isend<W: UcxHost>(
                     bytes: header,
                     extra_latency: hs,
                     token,
+                    class: TrafficClass::Control,
                 },
             );
         }
@@ -474,6 +476,7 @@ pub fn am_send<W: UcxHost>(
             bytes: bytes + header,
             extra_latency: SimDuration::ZERO,
             token,
+            class: TrafficClass::Am,
         },
     );
 }
@@ -625,6 +628,7 @@ pub fn on_gpu_tag<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, cookie: u64) {
                     bytes: wire_bytes + header,
                     extra_latency: SimDuration::ZERO,
                     token,
+                    class: TrafficClass::Data,
                 },
             );
             if done == total {
@@ -676,6 +680,7 @@ fn send_cts<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, xfer: u64) {
             bytes: header,
             extra_latency: hs,
             token,
+            class: TrafficClass::Control,
         },
     );
 }
@@ -715,6 +720,7 @@ fn start_data<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, xfer: u64) {
                     bytes: wire_bytes,
                     extra_latency: extra,
                     token,
+                    class: TrafficClass::Data,
                 },
             );
         }

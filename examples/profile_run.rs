@@ -11,12 +11,31 @@
 //! ```text
 //! cargo run --release --example profile_run
 //! ```
+//!
+//! Pass `--trace-out PATH` to also write the merged timeline (PE lanes,
+//! GPU engine lanes, fabric link lanes) as Chrome `trace_event` JSON for
+//! chrome://tracing or <https://ui.perfetto.dev>.
 
 use gaat::jacobi3d::{charm, CommMode, Dims, JacobiConfig};
 use gaat::rt::MachineConfig;
-use gaat::sim::SimTime;
+use gaat::sim::{SimTime, Tracer};
+
+fn trace_out_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace-out" {
+            let path = args.next().expect("--trace-out requires a path");
+            return Some(path.into());
+        }
+        if let Some(path) = arg.strip_prefix("--trace-out=") {
+            return Some(path.into());
+        }
+    }
+    None
+}
 
 fn main() {
+    let trace_out = trace_out_path();
     let mut machine = MachineConfig::summit(1);
     machine.trace = true;
     let mut cfg = JacobiConfig::new(machine, Dims::cube(768));
@@ -70,4 +89,24 @@ fn main() {
          the concurrency the paper's optimized implementation creates by using\n\
          separate high-priority streams per direction (§III-C)."
     );
+
+    if let Some(path) = trace_out {
+        // Merge every tracer into one timeline with disjoint lane
+        // ranges: PEs first, then each device's engines, then fabric
+        // links.
+        let mut merged = Tracer::enabled();
+        merged.extend_from(&sim.machine.tracer, 0);
+        let mut lane = sim.machine.pes.len() as u32;
+        for dev in &sim.machine.devices {
+            merged.extend_from(&dev.tracer, lane);
+            lane += 8; // engine lanes per device
+        }
+        merged.extend_from(&sim.machine.fabric.tracer, lane);
+        merged.export_chrome(&path).expect("write chrome trace");
+        println!(
+            "\nwrote {} spans of Chrome trace JSON to {}",
+            merged.spans().len(),
+            path.display()
+        );
+    }
 }

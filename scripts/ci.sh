@@ -23,4 +23,10 @@ echo "==> engine benchmark (smoke)"
 cargo run --release -p gaat-bench --bin engine_speed -- --smoke --out /tmp/BENCH_engine_smoke.json
 echo "smoke benchmark OK"
 
+echo "==> topology benchmark (smoke)"
+# Runs the tiny congestion ablation and writes BENCH_net JSON; exits 1 if
+# the FatTree single-flow sanity pin diverges >1% from Flat.
+cargo run --release -p gaat-bench --bin net_speed -- --smoke --out /tmp/BENCH_net_smoke.json
+echo "topo smoke OK"
+
 echo "CI green"

@@ -60,17 +60,29 @@ fn graph_and_fusion_paths_replay_exactly() {
 /// (time, seq) firing order bit for bit, so these totals may never move
 /// unless the *model* (latencies, topology) changes — in which case the
 /// change must be deliberate and these constants re-recorded.
+///
+/// Re-recorded once (PR 2, deliberate model change): network jitter is
+/// now a pure hash of each message's `(src, dst, token)` identity
+/// instead of a draw from the fabric's shared RNG stream, so unrelated
+/// traffic can no longer perturb an existing message's latency through
+/// RNG draw order. Totals moved by tens of nanoseconds on a
+/// multi-millisecond run (HostStaging 5_375_583 -> 5_375_600, GpuAware
+/// 3_115_437 -> 3_115_454, mpi 985_297 -> 986_355, graphs+fusionB
+/// 604_716 -> 604_747); entry/kernel/launch counts — the structural
+/// fingerprint — are unchanged. The refactor to the `Topology` backend
+/// was verified bit-identical against the old jitter model before the
+/// hash switch, so these constants isolate exactly the jitter change.
 #[test]
 fn firing_order_matches_seed_engine_goldens() {
     let golden = [
         (
             CommMode::HostStaging,
-            5_375_583u64,
+            5_375_600u64,
             509_822u64,
             4_736u64,
             4_640u64,
         ),
-        (CommMode::GpuAware, 3_115_437, 295_779, 4_736, 4_640),
+        (CommMode::GpuAware, 3_115_454, 295_779, 4_736, 4_640),
     ];
     for (comm, total_ns, per_iter_ns, entries, kernels) in golden {
         let mut c = cfg();
@@ -84,8 +96,8 @@ fn firing_order_matches_seed_engine_goldens() {
     }
 
     let r = run_mpi(cfg());
-    assert_eq!(r.total.as_ns(), 985_297, "mpi total");
-    assert_eq!(r.time_per_iter.as_ns(), 97_758, "mpi per-iter");
+    assert_eq!(r.total.as_ns(), 986_355, "mpi total");
+    assert_eq!(r.time_per_iter.as_ns(), 97_886, "mpi per-iter");
     assert_eq!(r.entries, 1_172, "mpi entries");
 
     let mut c = cfg();
@@ -94,7 +106,7 @@ fn firing_order_matches_seed_engine_goldens() {
     c.graphs = true;
     c.odf = 2;
     let r = run_charm(c);
-    assert_eq!(r.total.as_ns(), 604_716, "graphs+fusionB total");
+    assert_eq!(r.total.as_ns(), 604_747, "graphs+fusionB total");
     assert_eq!(r.entries, 2_128, "graphs+fusionB entries");
     assert_eq!(r.graph_launches, 240, "graphs+fusionB graph launches");
 }
