@@ -5,7 +5,10 @@
 //! - `flow_churn`: raw max-min-fair flow-simulation throughput (rate
 //!   recomputations and flow-rate updates per second) under synthetic
 //!   fat-tree traffic at a fixed concurrency — the perf baseline for
-//!   future topology changes.
+//!   future topology changes. Since the incremental solver landed this
+//!   also reports the solver counters (dirty-component histogram,
+//!   touched flows per recompute, rate updates avoided) and the tracked
+//!   speedup over the recorded from-scratch baseline.
 //! - A congestion ablation: the same Jacobi3D problem under `Flat` vs
 //!   `FatTree` and `Packed` vs `RoundRobin` placement, recording run
 //!   time and the hot-link counters that only the topology model can
@@ -22,16 +25,24 @@ use gaat_jacobi3d::{charm, CommMode, Dims, JacobiConfig, Placement};
 use gaat_net::{send, Fabric, NetHost, NetMsg, NetParams, NodeId, TopologyKind, TrafficClass};
 use gaat_rt::MachineConfig;
 use gaat_sim::{Sim, SimDuration, SimRng, SimTime};
-use gaat_topo::{FatTreeGraph, FatTreeParams, FlowSim};
+use gaat_topo::{FatTreeGraph, FatTreeParams, FlowSim, SolverStats};
+
+/// `flow_churn` rate-updates/s recorded in the committed BENCH_net.json
+/// immediately before the incremental solver landed (PR 2's from-scratch
+/// progressive water-filling on the identical workload). The tracked
+/// speedup is rate-updates/s over this number.
+const BASELINE_RATE_UPDATES_PER_SEC: f64 = 10_066_247.0;
 
 /// Flow-simulation throughput: deterministic synthetic traffic over a
 /// fat-tree link graph held at a target concurrency.
 struct FlowChurnResult {
     flows: u64,
-    recomputes: u64,
-    /// Per-flow rate assignments performed across all recomputes.
+    /// Per-flow rate assignments the caller would observe (live flows at
+    /// each admit/settle point) — the same accounting the from-scratch
+    /// baseline used, so the speedup is apples to apples.
     rate_updates: u64,
     wall_s: f64,
+    solver: SolverStats,
 }
 
 fn flow_churn(flows_total: u64, concurrency: usize, seed: u64) -> FlowChurnResult {
@@ -73,9 +84,9 @@ fn flow_churn(flows_total: u64, concurrency: usize, seed: u64) -> FlowChurnResul
     }
     FlowChurnResult {
         flows: started,
-        recomputes: flows.recomputes,
         rate_updates,
         wall_s: start.elapsed().as_secs_f64(),
+        solver: flows.solver_stats(),
     }
 }
 
@@ -193,7 +204,10 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_net.json".to_string());
 
-    let flows_total: u64 = if smoke { 20_000 } else { 400_000 };
+    // Smoke mode is a CI gate, not a measurement: a few thousand flows
+    // exercise every solver path in well under a second, where the full
+    // 400k churn budget would hold `scripts/ci.sh` hostage.
+    let flows_total: u64 = if smoke { 4_000 } else { 400_000 };
     let concurrency = 256;
 
     // Best-of-N on the churn microbenchmark to shed scheduler noise.
@@ -219,14 +233,39 @@ fn main() {
     json.push_str("{\n");
     json.push_str("  \"bench\": \"net_speed\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    let rate_updates_per_sec = churn.rate_updates as f64 / churn.wall_s;
     json.push_str(&format!(
         "  \"flow_churn\": {{\"flows\": {}, \"recomputes\": {}, \"rate_updates\": {}, \"wall_s\": {:.6}, \"recomputes_per_sec\": {:.0}, \"rate_updates_per_sec\": {:.0}}},\n",
         churn.flows,
-        churn.recomputes,
+        churn.solver.recomputes,
         churn.rate_updates,
         churn.wall_s,
-        churn.recomputes as f64 / churn.wall_s,
-        churn.rate_updates as f64 / churn.wall_s,
+        churn.solver.recomputes as f64 / churn.wall_s,
+        rate_updates_per_sec,
+    ));
+    json.push_str(&format!(
+        "  \"baseline_rate_updates_per_sec\": {BASELINE_RATE_UPDATES_PER_SEC:.0},\n"
+    ));
+    json.push_str(&format!(
+        "  \"rate_updates_speedup_vs_baseline\": {:.3},\n",
+        rate_updates_per_sec / BASELINE_RATE_UPDATES_PER_SEC,
+    ));
+    let hist = churn
+        .solver
+        .dirty_hist
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    json.push_str(&format!(
+        "  \"solver\": {{\"recomputes\": {}, \"empty_recomputes\": {}, \"touched_flows\": {}, \"touched_links\": {}, \"touched_flows_per_recompute\": {:.2}, \"rate_updates_avoided\": {}, \"dirty_hist\": [{}]}},\n",
+        churn.solver.recomputes,
+        churn.solver.empty_recomputes,
+        churn.solver.touched_flows,
+        churn.solver.touched_links,
+        churn.solver.touched_flows_per_recompute(),
+        churn.solver.rate_updates_avoided,
+        hist,
     ));
     json.push_str("  \"congestion_ablation\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -253,11 +292,25 @@ fn main() {
     json.push_str("}\n");
 
     println!(
-        "flow_churn     {:>8} flows  {:>8} recomputes  {:>9.3} ms  {:>12.0} rate-updates/s",
+        "flow_churn     {:>8} flows  {:>8} recomputes  {:>9.3} ms  {:>12.0} rate-updates/s  ({:.2}x vs baseline {:.0})",
         churn.flows,
-        churn.recomputes,
+        churn.solver.recomputes,
         churn.wall_s * 1e3,
-        churn.rate_updates as f64 / churn.wall_s,
+        rate_updates_per_sec,
+        rate_updates_per_sec / BASELINE_RATE_UPDATES_PER_SEC,
+        BASELINE_RATE_UPDATES_PER_SEC,
+    );
+    println!(
+        "solver         {:>8} empty  {:>8.1} touched-flows/recompute  {:>12} rate-updates avoided  hist [{}]",
+        churn.solver.empty_recomputes,
+        churn.solver.touched_flows_per_recompute(),
+        churn.solver.rate_updates_avoided,
+        SolverStats::HIST_LABELS
+            .iter()
+            .zip(churn.solver.dirty_hist.iter())
+            .map(|(label, n)| format!("{label}:{n}"))
+            .collect::<Vec<_>>()
+            .join(" "),
     );
     for c in &cells {
         println!(

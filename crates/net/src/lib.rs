@@ -22,7 +22,9 @@
 #![warn(missing_docs)]
 
 use gaat_sim::{EventId, Sim, SimDuration, SimRng, SimTime, Tracer};
-pub use gaat_topo::{BusySpan, CongestionSummary, FatTreeParams, LinkId, LinkKind, LinkUsage};
+pub use gaat_topo::{
+    BusySpan, CongestionSummary, FatTreeParams, LinkId, LinkKind, LinkUsage, SolverStats,
+};
 use gaat_topo::{FatTreeGraph, FlowSim};
 
 /// Identifier of a machine node (which hosts several PEs/GPUs).
@@ -151,6 +153,9 @@ pub struct NetStats {
     pub max_link_utilization: f64,
     /// The link holding `max_link_utilization`, if any traffic flowed.
     pub hottest_link: Option<LinkId>,
+    /// Incremental rate-solver counters (recomputes, dirty-component
+    /// size histogram, rate updates avoided; all zero under `Flat`).
+    pub solver: SolverStats,
 }
 
 /// The pricing-and-scheduling backend behind a [`Fabric`].
@@ -168,7 +173,9 @@ pub trait Topology: std::fmt::Debug + Send {
     fn admit(&mut self, now: SimTime, msg: &NetMsg, jitter: f64, flight: u32) -> Option<SimTime>;
 
     /// Earliest instant at which `advance` would have something to do.
-    fn next_wakeup(&self) -> Option<SimTime> {
+    /// Takes `&mut self` so closed-loop models can run their deferred
+    /// rate recomputation before answering.
+    fn next_wakeup(&mut self) -> Option<SimTime> {
         None
     }
 
@@ -179,6 +186,12 @@ pub trait Topology: std::fmt::Debug + Send {
     /// Whole-fabric congestion summary (zero under open-loop models).
     fn congestion(&self, _horizon: SimTime) -> CongestionSummary {
         CongestionSummary::default()
+    }
+
+    /// Rate-solver counters (zero under open-loop models, which have no
+    /// shared-bandwidth solver at all).
+    fn solver_stats(&self) -> SolverStats {
+        SolverStats::default()
     }
 
     /// Per-link counters (empty under open-loop models).
@@ -289,7 +302,7 @@ impl Topology for FatTree {
         None
     }
 
-    fn next_wakeup(&self) -> Option<SimTime> {
+    fn next_wakeup(&mut self) -> Option<SimTime> {
         self.flows.next_wakeup()
     }
 
@@ -303,6 +316,10 @@ impl Topology for FatTree {
 
     fn congestion(&self, horizon: SimTime) -> CongestionSummary {
         self.flows.congestion(horizon)
+    }
+
+    fn solver_stats(&self) -> SolverStats {
+        self.flows.solver_stats()
     }
 
     fn link_report(&self, horizon: SimTime) -> Vec<LinkUsage> {
@@ -410,6 +427,7 @@ impl Fabric {
         stats.peak_link_flows = summary.peak_link_flows;
         stats.max_link_utilization = summary.max_link_utilization;
         stats.hottest_link = summary.hottest_link;
+        stats.solver = self.topo.solver_stats();
         stats
     }
 

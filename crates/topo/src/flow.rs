@@ -1,4 +1,5 @@
-//! Max-min fair flow simulation over a static link graph.
+//! Max-min fair flow simulation over a static link graph, with
+//! *incremental* rate recomputation.
 //!
 //! Rates are piecewise-constant: they only change when a flow starts or
 //! finishes. Between those instants every flow drains at its assigned
@@ -11,93 +12,248 @@
 //! unfrozen flow crossing it at that share, subtract the frozen rates
 //! from every link they cross, repeat. Ties break on the lower link id
 //! so the result is independent of iteration order.
+//!
+//! The incremental part: a flow admit/complete can only change the rates
+//! of flows in its *bottleneck component* — the transitive closure of
+//! "shares a link with" seeded from the changed flow's route. Flows (and
+//! links) outside that closure see exactly the same water-filling
+//! sub-problem as before, so their rates, ETAs, and link scratch are left
+//! untouched, and the per-flow arithmetic inside the component replays
+//! the from-scratch op sequence bit for bit (see DESIGN.md "Incremental
+//! rate recomputation").
+//!
+//! Two further structural optimizations, both behavior-preserving:
+//!
+//! - **Deferred recomputation.** Admits and completions only *seed* the
+//!   dirty set; the actual water-fill runs lazily at the next query
+//!   (`next_wakeup` / a time-advancing `settle`). Rates are only ever
+//!   *used* to integrate bytes over an interval or to project ETAs, and
+//!   both happen strictly after all same-instant mutations, so merging
+//!   the recomputes of one event instant is unobservable — but it halves
+//!   the fill count under churny traffic (complete + re-admit at one
+//!   instant is one fill, not two or three).
+//! - **Dense/sparse pacing split.** Completion instants live in a lazy
+//!   min-heap keyed by ETA — stale entries (dead flow, or a flow whose
+//!   ETA moved) are skipped on pop — instead of a full live-flow scan
+//!   per recompute. When the dirty component spans most of the fabric
+//!   the heap would see every ETA re-pushed each fill, so the solver
+//!   flips to a dense mode that tracks the minimum ETA with one
+//!   contiguous scan of the flows it already touched and leaves the heap
+//!   empty; the heap is rebuilt on the next sparse fill.
 
-use crate::{BusySpan, CongestionSummary, LinkDesc, LinkId, LinkUsage};
-use gaat_sim::SimTime;
+use std::collections::BinaryHeap;
+
+use crate::{BusySpan, CongestionSummary, LinkDesc, LinkId, LinkUsage, SolverStats};
+use gaat_sim::{SimDuration, SimTime};
 
 /// Flows with no more than this many bytes left are complete. Guards the
 /// f64 drain arithmetic against never quite reaching zero.
 pub const EPS_BYTES: f64 = 1e-6;
 
-#[derive(Debug)]
-struct FlowSlot {
-    route: Vec<LinkId>,
-    /// Bytes still to transfer.
-    remaining: f64,
-    /// Assigned rate, bytes per nanosecond.
-    rate: f64,
-    /// Projected completion instant under the current rates.
-    eta: SimTime,
-    /// Caller's correlation token, returned on completion.
-    token: u64,
-    /// Water-filling scratch: rate already fixed this round.
-    frozen: bool,
-    live: bool,
-}
+/// Fresh-slot rate sentinel: compares unequal to every real share, so a
+/// newly admitted flow is always recorded as changed by its first fill
+/// and gets an ETA projection.
+const RATE_UNSET: f64 = -1.0;
 
+/// Cold per-link bookkeeping (stats and occupancy). The water-filling
+/// scratch lives in dense parallel arrays on [`FlowSim`] instead, so the
+/// fill's inner loops touch only a few cache lines.
 #[derive(Debug)]
-struct LinkState {
+struct LinkMeta {
     desc: LinkDesc,
-    /// Capacity in bytes per nanosecond.
-    cap: f64,
-    active: u32,
+    /// Bytes carried by *completed* flows; live flows are attributed at
+    /// report time from `total - remaining`.
     bytes: f64,
     busy_ns: u64,
     busy_since: SimTime,
     peak: u32,
-    // Water-filling scratch, valid when `mark == FlowSim::epoch`.
-    cap_left: f64,
-    unfrozen: u32,
-    mark: u64,
+}
+
+/// Lazy pacing-heap entry; ordered so `BinaryHeap` pops the smallest
+/// `(eta, flow)` first. An entry is stale (skipped on pop) when its flow
+/// is dead or the flow's current ETA no longer matches.
+#[derive(Debug, PartialEq, Eq)]
+struct EtaEntry {
+    eta: SimTime,
+    flow: u32,
+}
+
+impl Ord for EtaEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .eta
+            .cmp(&self.eta)
+            .then_with(|| other.flow.cmp(&self.flow))
+    }
+}
+
+impl PartialOrd for EtaEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 /// The flow-level interconnect state machine. See the module docs.
+///
+/// Per-flow and per-link hot state is stored struct-of-arrays: the
+/// water-fill, the settle loop, and the closure walk only stream over
+/// small dense `f64`/`u32` arrays, never over wide structs.
 #[derive(Debug)]
 pub struct FlowSim {
-    flows: Vec<FlowSlot>,
+    // --- per-flow arrays, indexed by slot ---
+    rate: Vec<f64>,
+    /// Projected completion instant under the current rates; valid for
+    /// live flows once a fill has seen them (`SimTime::MAX` before).
+    eta: Vec<SimTime>,
+    /// Original byte count (for report-time byte attribution).
+    total: Vec<f64>,
+    token: Vec<u64>,
+    alive: Vec<bool>,
+    /// Fill scratch: frozen this fill when `== epoch`.
+    frozen: Vec<u64>,
+    /// Closure scratch: in the dirty set when `== epoch`.
+    fmark: Vec<u64>,
+    route_len: Vec<u32>,
+    /// Flat route storage, `stride` link ids per slot; avoids one Vec
+    /// pointer chase per flow in the fill's inner loops.
+    route_arena: Vec<u32>,
+    stride: usize,
+
+    // --- per-link arrays, indexed by link id ---
+    lmeta: Vec<LinkMeta>,
+    /// Live flow slots currently crossing each link (unordered — the
+    /// water-filling result is invariant to within-round freeze order).
+    lflows: Vec<Vec<u32>>,
+    /// Capacity in bytes per nanosecond.
+    lcap: Vec<f64>,
+    /// Packed water-fill scratch per link: `[capacity_left,
+    /// unfrozen_flow_count]`, one cache line touch per route hop. The
+    /// count is f64 so the share division needs no conversion; exact
+    /// for any realistic flow count.
+    lcu: Vec<[f64; 2]>,
+    /// Live-flow count per link, kept out of the cold [`LinkMeta`] so
+    /// the dense build streams over a packed array instead of gathering
+    /// through wide structs.
+    lactive: Vec<u32>,
+    /// Dirty-link scratch, valid when `== epoch`.
+    lmark: Vec<u64>,
+    /// Position of the link in the fill's candidate list.
+    cand_pos: Vec<u32>,
+    /// Links with at least one live flow (lazily compacted); lets the
+    /// dense fill seed `unfrozen` from the maintained `active` counters
+    /// instead of re-walking every route.
+    active_links: Vec<u32>,
+    in_active: Vec<bool>,
+
+    // --- global state ---
     free: Vec<u32>,
     /// Live flow slots in admission order (drives deterministic
-    /// completion ordering and the water-filling scan).
+    /// completion ordering).
     live: Vec<u32>,
-    links: Vec<LinkState>,
+    /// Remaining bytes / current rate of each live flow, stored compacted
+    /// in `live` order so the per-event drain streams over contiguous
+    /// `f64`s (and vectorizes) instead of gathering by slot. `rate_live`
+    /// mirrors `rate` for live flows; both are maintained by the same
+    /// writes that update the slot-indexed arrays.
+    rem_live: Vec<f64>,
+    rate_live: Vec<f64>,
+    /// ETA mirror in `live` order; the dense pacing mode takes its
+    /// minimum with one contiguous scan instead of gathering by slot.
+    eta_live: Vec<SimTime>,
+    /// Slot -> index in `live` (valid while the flow is live).
+    lpos: Vec<u32>,
     /// Instant up to which all flows have been drained.
     settled_at: SimTime,
+    /// Cached earliest completion instant across live flows.
     next_eta: Option<SimTime>,
     epoch: u64,
     closed: Vec<BusySpan>,
     record_spans: bool,
-    /// Number of water-filling passes run; exported for the perf bench.
-    pub recomputes: u64,
+    /// Lazy completion heap; when `heap_live`, every live flow has at
+    /// least one entry matching its current ETA.
+    eta_heap: BinaryHeap<EtaEntry>,
+    heap_live: bool,
+    /// A fill is owed before rates/ETAs may next be observed.
+    pending: bool,
+    /// Mode predictor: the last fill touched at least half the live
+    /// flows, so the next one skips the closure walk and fills the whole
+    /// fabric (identical result, cheaper bookkeeping).
+    dense: bool,
+    // Scratch buffers reused across fills (steady state allocates
+    // nothing).
+    seed: Vec<u32>,
+    dirty_flows: Vec<u32>,
+    cand: Vec<u32>,
+    cand_share: Vec<f64>,
+    changed: Vec<u32>,
+    touched: Vec<u32>,
+    emptied: Vec<u32>,
+    /// Cache of `lcap[l] / init_u[l]` from earlier dense fills; valid
+    /// while the link's occupancy still equals `init_u[l]`. Same
+    /// operands give the same quotient, so reuse is bit-exact.
+    init_u: Vec<u32>,
+    init_share: Vec<f64>,
+    stats: SolverStats,
 }
 
 impl FlowSim {
     pub fn new(links: Vec<LinkDesc>) -> Self {
-        let links = links
-            .into_iter()
-            .map(|desc| LinkState {
+        let n = links.len();
+        let lmeta = links
+            .iter()
+            .map(|&desc| LinkMeta {
                 desc,
-                cap: desc.bw / 1e9,
-                active: 0,
                 bytes: 0.0,
                 busy_ns: 0,
                 busy_since: SimTime::ZERO,
                 peak: 0,
-                cap_left: 0.0,
-                unfrozen: 0,
-                mark: 0,
             })
             .collect();
         FlowSim {
-            flows: Vec::new(),
+            rate: Vec::new(),
+            eta: Vec::new(),
+            total: Vec::new(),
+            token: Vec::new(),
+            alive: Vec::new(),
+            frozen: Vec::new(),
+            fmark: Vec::new(),
+            route_len: Vec::new(),
+            route_arena: Vec::new(),
+            stride: 4,
+            lmeta,
+            lflows: vec![Vec::new(); n],
+            lcap: links.iter().map(|&d| d.bw / 1e9).collect(),
+            lcu: vec![[0.0; 2]; n],
+            lactive: vec![0; n],
+            lmark: vec![0; n],
+            cand_pos: vec![0; n],
+            active_links: Vec::new(),
+            in_active: vec![false; n],
             free: Vec::new(),
             live: Vec::new(),
-            links,
+            rem_live: Vec::new(),
+            rate_live: Vec::new(),
+            eta_live: Vec::new(),
+            lpos: Vec::new(),
             settled_at: SimTime::ZERO,
             next_eta: None,
             epoch: 0,
             closed: Vec::new(),
             record_spans: false,
-            recomputes: 0,
+            eta_heap: BinaryHeap::new(),
+            heap_live: true,
+            pending: false,
+            dense: false,
+            seed: Vec::new(),
+            dirty_flows: Vec::new(),
+            cand: Vec::new(),
+            cand_share: Vec::new(),
+            changed: Vec::new(),
+            touched: Vec::new(),
+            emptied: Vec::new(),
+            init_u: vec![0; n],
+            init_share: vec![0.0; n],
+            stats: SolverStats::default(),
         }
     }
 
@@ -109,96 +265,218 @@ impl FlowSim {
         self.live.len()
     }
 
+    /// Incremental-solver counters accumulated since construction.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.stats
+    }
+
     /// Instant up to which flows have been drained (the traffic horizon).
     pub fn settled_at(&self) -> SimTime {
         self.settled_at
     }
 
     /// Earliest instant at which some flow completes, if any are live.
-    pub fn next_wakeup(&self) -> Option<SimTime> {
+    /// Runs any deferred rate recomputation first.
+    pub fn next_wakeup(&mut self) -> Option<SimTime> {
+        if self.pending {
+            self.flush();
+        }
         self.next_eta
+    }
+
+    /// `(token, rate, eta)` of every live flow in admission order — the
+    /// observable rate state, for differential tests and debugging.
+    pub fn live_flows(&mut self) -> Vec<(u64, f64, SimTime)> {
+        if self.pending {
+            self.flush();
+        }
+        self.live
+            .iter()
+            .map(|&idx| {
+                let i = idx as usize;
+                (self.token[i], self.rate[i], self.eta[i])
+            })
+            .collect()
+    }
+
+    /// Grow the route arena stride so a `len`-link route fits.
+    fn ensure_stride(&mut self, len: usize) {
+        if len <= self.stride {
+            return;
+        }
+        let new_stride = len.next_power_of_two();
+        let slots = self.route_len.len();
+        let mut arena = vec![0u32; slots * new_stride];
+        for s in 0..slots {
+            let n = self.route_len[s] as usize;
+            arena[s * new_stride..s * new_stride + n]
+                .copy_from_slice(&self.route_arena[s * self.stride..s * self.stride + n]);
+        }
+        self.route_arena = arena;
+        self.stride = new_stride;
     }
 
     /// Admit a new flow over `route` carrying `bytes`. The token is
     /// returned by `advance` when the flow finishes. Rates of flows
-    /// sharing links shrink immediately; the caller must re-read
-    /// `next_wakeup()` afterwards.
+    /// sharing links (transitively) shrink at the next query; the caller
+    /// must re-read `next_wakeup()` afterwards.
     pub fn start(&mut self, now: SimTime, route: &[LinkId], bytes: f64, token: u64) {
+        if self.pending && now > self.settled_at {
+            self.flush();
+        }
         self.settle(now);
-        let slot = FlowSlot {
-            route: route.to_vec(),
-            remaining: bytes.max(0.0),
-            rate: 0.0,
-            eta: now,
-            token,
-            frozen: false,
-            live: true,
-        };
+        self.ensure_stride(route.len());
         let idx = match self.free.pop() {
-            Some(i) => {
-                self.flows[i as usize] = slot;
+            Some(i) => i,
+            None => {
+                let i = self.route_len.len() as u32;
+                self.rate.push(0.0);
+                self.eta.push(SimTime::MAX);
+                self.total.push(0.0);
+                self.token.push(0);
+                self.alive.push(false);
+                self.frozen.push(0);
+                self.fmark.push(0);
+                self.route_len.push(0);
+                self.route_arena
+                    .resize(self.route_arena.len() + self.stride, 0);
+                self.lpos.push(0);
                 i
             }
-            None => {
-                self.flows.push(slot);
-                (self.flows.len() - 1) as u32
-            }
         };
-        self.live.push(idx);
-        for &LinkId(l) in &self.flows[idx as usize].route {
-            let link = &mut self.links[l as usize];
-            if link.active == 0 {
-                link.busy_since = now;
+        let i = idx as usize;
+        self.total[i] = bytes.max(0.0);
+        self.rate[i] = RATE_UNSET;
+        self.eta[i] = SimTime::MAX;
+        self.token[i] = token;
+        self.alive[i] = true;
+        self.route_len[i] = route.len() as u32;
+        for (k, &LinkId(l)) in route.iter().enumerate() {
+            self.route_arena[i * self.stride + k] = l;
+            let a = &mut self.lactive[l as usize];
+            *a += 1;
+            let a = *a;
+            let m = &mut self.lmeta[l as usize];
+            if a == 1 {
+                m.busy_since = now;
+                if !self.in_active[l as usize] {
+                    self.in_active[l as usize] = true;
+                    self.active_links.push(l);
+                }
             }
-            link.active += 1;
-            link.peak = link.peak.max(link.active);
+            m.peak = m.peak.max(a);
+            self.lflows[l as usize].push(idx);
+            self.seed.push(l);
         }
-        self.recompute();
+        self.live.push(idx);
+        self.lpos[i] = (self.live.len() - 1) as u32;
+        self.rem_live.push(bytes.max(0.0));
+        self.rate_live.push(RATE_UNSET);
+        self.eta_live.push(SimTime::MAX);
+        self.pending = true;
     }
 
     /// Drain flows to `now`, push tokens of completed flows onto `done`
-    /// (admission order), release their links, and recompute rates.
-    /// Safe to call at any instant >= the last settle point.
+    /// (admission order), release their links, and mark the affected
+    /// bottleneck components dirty. Safe to call at any instant >= the
+    /// last settle point.
     pub fn advance(&mut self, now: SimTime, done: &mut Vec<u64>) {
-        self.settle(now);
+        if self.pending && now > self.settled_at {
+            self.flush();
+        }
+        let dt = now.since(self.settled_at).as_ns() as f64;
+        self.settled_at = now;
+        let n = self.live.len();
+        // Pass 1: arithmetic only, streaming over the live-compacted
+        // mirrors. Branch-free and contiguous, so it vectorizes; the
+        // per-flow operations match the slot-indexed drain bit for bit.
+        let mut ncomplete = 0usize;
+        if dt > 0.0 {
+            let rem = &mut self.rem_live[..n];
+            let rl = &self.rate_live[..n];
+            for j in 0..n {
+                let r0 = rem[j];
+                let carried = (rl[j] * dt).min(r0);
+                let r = r0 - carried;
+                rem[j] = r;
+                ncomplete += (r <= EPS_BYTES) as usize;
+            }
+        } else {
+            let rem = &self.rem_live[..n];
+            ncomplete += rem.iter().filter(|&&r| r <= EPS_BYTES).count();
+        }
+        if ncomplete == 0 {
+            return;
+        }
+        // Pass 2 (only when something finished): collect completions in
+        // admission order, compacting the live list and its mirrors.
         let Self {
-            flows,
+            rem_live,
+            rate_live,
+            eta_live,
+            lpos,
+            total,
+            token,
+            alive,
+            route_len,
+            route_arena,
+            stride,
+            lmeta,
+            lactive,
+            lflows,
             free,
             live,
-            links,
             closed,
             record_spans,
+            seed,
             ..
         } = self;
-        let before = live.len();
-        live.retain(|&idx| {
-            let flow = &mut flows[idx as usize];
-            if flow.remaining > EPS_BYTES {
-                return true;
+        let mut w = 0usize;
+        for j in 0..n {
+            let idx = live[j];
+            let r = rem_live[j];
+            if r > EPS_BYTES {
+                live[w] = idx;
+                rem_live[w] = r;
+                rate_live[w] = rate_live[j];
+                eta_live[w] = eta_live[j];
+                lpos[idx as usize] = w as u32;
+                w += 1;
+                continue;
             }
-            done.push(flow.token);
-            flow.live = false;
-            for &LinkId(l) in &flow.route {
-                let link = &mut links[l as usize];
-                link.active -= 1;
-                if link.active == 0 {
-                    link.busy_ns += now.since(link.busy_since).as_ns();
-                    if *record_spans && now > link.busy_since {
+            let i = idx as usize;
+            done.push(token[i]);
+            alive[i] = false;
+            for k in 0..route_len[i] as usize {
+                let l = route_arena[i * *stride + k] as usize;
+                lactive[l] -= 1;
+                let m = &mut lmeta[l];
+                m.bytes += total[i];
+                let pos = lflows[l]
+                    .iter()
+                    .position(|&f| f == idx)
+                    .expect("completing flow is on its links' member lists");
+                lflows[l].swap_remove(pos);
+                seed.push(l as u32);
+                if lactive[l] == 0 {
+                    m.busy_ns += now.since(m.busy_since).as_ns();
+                    if *record_spans && now > m.busy_since {
                         closed.push(BusySpan {
-                            link: LinkId(l),
-                            kind: link.desc.kind,
-                            start: link.busy_since,
+                            link: LinkId(l as u32),
+                            kind: m.desc.kind,
+                            start: m.busy_since,
                             end: now,
                         });
                     }
                 }
             }
             free.push(idx);
-            false
-        });
-        if live.len() != before {
-            self.recompute();
         }
+        live.truncate(w);
+        rem_live.truncate(w);
+        rate_live.truncate(w);
+        eta_live.truncate(w);
+        self.pending = true;
     }
 
     /// Move accumulated busy intervals out (for tracer lanes).
@@ -207,24 +485,33 @@ impl FlowSim {
     }
 
     /// Per-link counters; `horizon` is the sim end used both to close
-    /// still-busy intervals and as the utilization denominator.
+    /// still-busy intervals and as the utilization denominator. Bytes of
+    /// still-live flows are attributed from their progress so far.
     pub fn link_report(&self, horizon: SimTime) -> Vec<LinkUsage> {
-        let total = horizon.as_ns().max(1);
-        self.links
+        let total_ns = horizon.as_ns().max(1);
+        let mut partial = vec![0.0f64; self.lmeta.len()];
+        for (j, &idx) in self.live.iter().enumerate() {
+            let i = idx as usize;
+            let carried = self.total[i] - self.rem_live[j];
+            for k in 0..self.route_len[i] as usize {
+                partial[self.route_arena[i * self.stride + k] as usize] += carried;
+            }
+        }
+        self.lmeta
             .iter()
             .enumerate()
-            .map(|(i, link)| {
-                let mut busy = link.busy_ns;
-                if link.active > 0 && horizon > link.busy_since {
-                    busy += horizon.since(link.busy_since).as_ns();
+            .map(|(i, m)| {
+                let mut busy = m.busy_ns;
+                if self.lactive[i] > 0 && horizon > m.busy_since {
+                    busy += horizon.since(m.busy_since).as_ns();
                 }
                 LinkUsage {
                     link: LinkId(i as u32),
-                    kind: link.desc.kind,
-                    bytes: link.bytes,
+                    kind: m.desc.kind,
+                    bytes: m.bytes + partial[i],
                     busy_ns: busy,
-                    peak_flows: link.peak,
-                    utilization: busy as f64 / total as f64,
+                    peak_flows: m.peak,
+                    utilization: busy as f64 / total_ns as f64,
                 }
             })
             .collect()
@@ -242,103 +529,521 @@ impl FlowSim {
         out
     }
 
-    /// Drain every live flow at its current rate up to `now`.
+    /// Drain every live flow at its current rate up to `now`. A flow
+    /// that crosses the completion threshold here without an `advance`
+    /// collecting it (the caller slept past its ETA) gets its ETA
+    /// re-anchored to the settle point, exactly like the from-scratch
+    /// solver's full recompute did.
     fn settle(&mut self, now: SimTime) {
         debug_assert!(now >= self.settled_at, "settle moved backwards");
         let dt = now.since(self.settled_at).as_ns() as f64;
         if dt > 0.0 {
             let Self {
-                flows, live, links, ..
+                rem_live,
+                rate_live,
+                eta_live,
+                eta,
+                live,
+                eta_heap,
+                heap_live,
+                next_eta,
+                ..
             } = self;
-            for &idx in live.iter() {
-                let flow = &mut flows[idx as usize];
-                let carried = (flow.rate * dt).min(flow.remaining);
-                flow.remaining -= carried;
-                for &LinkId(l) in &flow.route {
-                    links[l as usize].bytes += carried;
+            for (j, &idx) in live.iter().enumerate() {
+                let rem = rem_live[j];
+                let was_open = rem > EPS_BYTES;
+                let carried = (rate_live[j] * dt).min(rem);
+                let rem = rem - carried;
+                rem_live[j] = rem;
+                if was_open && rem <= EPS_BYTES {
+                    let i = idx as usize;
+                    eta[i] = now;
+                    eta_live[j] = now;
+                    if *heap_live {
+                        eta_heap.push(EtaEntry {
+                            eta: now,
+                            flow: idx,
+                        });
+                    }
+                    *next_eta = Some(next_eta.map_or(now, |e| e.min(now)));
                 }
             }
         }
         self.settled_at = now;
     }
 
-    /// Progressive water-filling over the links touched by live flows.
-    fn recompute(&mut self) {
-        self.recomputes += 1;
+    /// Run the deferred incremental water-fill: close the accumulated
+    /// seed under "shares a link" (or, in dense mode, take the whole
+    /// fabric — identical result), re-run progressive water-filling on
+    /// that component only, and re-project the ETAs of exactly the flows
+    /// whose rate changed.
+    fn flush(&mut self) {
+        self.pending = false;
         self.epoch += 1;
+        self.stats.recomputes += 1;
         let epoch = self.epoch;
+        let live_n = self.live.len();
         let Self {
-            flows, live, links, ..
+            rate,
+            eta,
+            frozen,
+            fmark,
+            route_len,
+            route_arena,
+            stride,
+            lactive,
+            lflows,
+            lcap,
+            lcu,
+            lmark,
+            cand_pos,
+            active_links,
+            in_active,
+            live,
+            rem_live,
+            rate_live,
+            eta_live,
+            lpos,
+            eta_heap,
+            heap_live,
+            seed,
+            dirty_flows,
+            cand,
+            cand_share,
+            changed,
+            touched,
+            emptied,
+            init_u,
+            init_share,
+            stats,
+            ..
         } = self;
+        let stride = *stride;
 
-        // Reset scratch on touched links; count their unfrozen flows.
-        let mut touched: Vec<u32> = Vec::new();
-        for &idx in live.iter() {
-            let flow = &mut flows[idx as usize];
-            flow.frozen = false;
-            flow.rate = 0.0;
-            for &LinkId(l) in &flow.route {
-                let link = &mut links[l as usize];
-                if link.mark != epoch {
-                    link.mark = epoch;
-                    link.cap_left = link.cap;
-                    link.unfrozen = 0;
-                    touched.push(l);
-                }
-                link.unfrozen += 1;
+        cand.clear();
+        cand_share.clear();
+        dirty_flows.clear();
+
+        // Dense mode self-perpetuates if entry is judged only by the
+        // last fill's size (a dense fill touches everything by
+        // construction), so exit is decided from the seed instead: the
+        // direct member count of the seeded links upper-bounds how local
+        // the change is. It *under*counts the transitive closure, so
+        // leaving dense demands a strong locality signal (8x), which
+        // also keeps borderline fills from thrashing between modes.
+        let mut dense = self.dense && live_n > 0;
+        if dense {
+            let mut est = 0usize;
+            for &l in seed.iter() {
+                est += lflows[l as usize].len();
+            }
+            if est * 8 < live_n {
+                dense = false;
             }
         }
-
-        let mut remaining_flows = live.len();
-        while remaining_flows > 0 {
-            // Bottleneck: smallest per-flow share; ties to the lower id.
-            let mut best: Option<(f64, u32)> = None;
-            for &l in &touched {
-                let link = &links[l as usize];
-                if link.unfrozen == 0 {
+        let dense = dense;
+        let to_freeze;
+        if dense {
+            // Dense mode: the previous fill touched most of the fabric,
+            // so skip the closure walk and fill every live flow. Filling
+            // a superset of components is exact: components don't share
+            // links, so the merged bottleneck sequence interleaves the
+            // per-component sequences without changing any of them. The
+            // per-link unfrozen count over *all* live flows is exactly
+            // the maintained `active` occupancy, so seeding walks the
+            // active-link list instead of every route.
+            seed.clear();
+            cand.resize(active_links.len(), 0);
+            cand_share.resize(active_links.len(), 0.0);
+            let cands = cand.as_mut_slice();
+            let shs = cand_share.as_mut_slice();
+            let mut cn = 0usize;
+            let mut i = 0;
+            while i < active_links.len() {
+                let l = active_links[i] as usize;
+                let a = lactive[l];
+                if a == 0 {
+                    in_active[l] = false;
+                    active_links.swap_remove(i);
                     continue;
                 }
-                let share = link.cap_left / link.unfrozen as f64;
-                match best {
-                    Some((s, b)) if (share, l) >= (s, b) => {}
-                    _ => best = Some((share, l)),
+                lcu[l] = [lcap[l], a as f64];
+                cand_pos[l] = cn as u32;
+                cands[cn] = l as u32;
+                shs[cn] = if init_u[l] == a {
+                    init_share[l]
+                } else {
+                    let sh = lcap[l] / a as f64;
+                    init_u[l] = a;
+                    init_share[l] = sh;
+                    sh
+                };
+                cn += 1;
+                i += 1;
+            }
+            cand.truncate(cn);
+            cand_share.truncate(cn);
+            to_freeze = live_n;
+        } else {
+            // Seed the dirty link set with the changed flows' routes.
+            for &l in seed.iter() {
+                let l = l as usize;
+                if lmark[l] != epoch {
+                    lmark[l] = epoch;
+                    lcu[l] = [lcap[l], 0.0];
+                    cand.push(l as u32);
                 }
             }
-            let Some((share, bottleneck)) = best else {
-                break;
-            };
-            let share = share.max(0.0);
-            for &idx in live.iter() {
-                let flow = &mut flows[idx as usize];
-                if flow.frozen || !flow.route.contains(&LinkId(bottleneck)) {
-                    continue;
-                }
-                flow.frozen = true;
-                flow.rate = share;
-                remaining_flows -= 1;
-                for &LinkId(l) in &flow.route {
-                    let link = &mut links[l as usize];
-                    link.cap_left = (link.cap_left - share).max(0.0);
-                    link.unfrozen -= 1;
+            seed.clear();
+            // Transitive closure: every flow on a dirty link is dirty,
+            // and every link on a dirty flow's route is dirty. After
+            // this, dirty links carry only dirty flows, so the component
+            // water-fills independently of the rest of the fabric.
+            let mut li = 0;
+            while li < cand.len() {
+                let l = cand[li] as usize;
+                li += 1;
+                let n = lflows[l].len();
+                // Index form: `lflows[l]` cannot be borrowed across the
+                // loop body (cand/lmark are pushed to inside it).
+                #[allow(clippy::needless_range_loop)]
+                for fi in 0..n {
+                    let f = lflows[l][fi];
+                    let i = f as usize;
+                    if fmark[i] == epoch {
+                        continue;
+                    }
+                    fmark[i] = epoch;
+                    dirty_flows.push(f);
+                    let base = i * stride;
+                    for &l2 in &route_arena[base..base + route_len[i] as usize] {
+                        let l2 = l2 as usize;
+                        if lmark[l2] != epoch {
+                            lmark[l2] = epoch;
+                            lcu[l2] = [lcap[l2], 0.0];
+                            cand.push(l2 as u32);
+                        }
+                        lcu[l2][1] += 1.0;
+                    }
                 }
             }
+            to_freeze = dirty_flows.len();
         }
 
-        // Project completion instants under the new rates.
-        self.next_eta = None;
-        for &idx in self.live.iter() {
-            let flow = &mut self.flows[idx as usize];
-            flow.eta = if flow.remaining <= EPS_BYTES {
-                self.settled_at
-            } else {
-                debug_assert!(flow.rate > 0.0, "live flow with zero rate");
-                let ns = (flow.remaining / flow.rate).ceil().max(1.0) as u64;
-                self.settled_at + gaat_sim::SimDuration::from_ns(ns)
-            };
-            self.next_eta = Some(match self.next_eta {
-                Some(t) => t.min(flow.eta),
-                None => flow.eta,
-            });
+        stats.record_component(to_freeze, cand.len(), live_n);
+        self.dense = 2 * to_freeze >= live_n;
+
+        if to_freeze > 0 {
+            if !dense {
+                // Candidate shares; links whose flows all completed
+                // drop out. (The dense build filled these in directly.)
+                let mut i = 0;
+                while i < cand.len() {
+                    let l = cand[i] as usize;
+                    let [c, u] = lcu[l];
+                    if u == 0.0 {
+                        cand.swap_remove(i);
+                        continue;
+                    }
+                    cand_pos[l] = i as u32;
+                    cand_share.push(c / u);
+                    i += 1;
+                }
+            }
+
+            // Water-fill the component. Identical op order to the
+            // from-scratch solver restricted to this component: the same
+            // bottleneck sequence (min share, ties to the lower link id)
+            // and per-link the same ordered subtractions, so rates come
+            // out bit for bit equal.
+            //
+            // The round loop appends to fixed-size scratch through a
+            // cursor instead of `Vec::push`: a push's potential
+            // reallocation forces the compiler to reload every slice
+            // pointer after it, which dominates the inner loop.
+            if touched.len() < stride * to_freeze {
+                touched.resize(stride * to_freeze, 0);
+            }
+            if changed.len() < live_n {
+                changed.resize(live_n, 0);
+            }
+            let tb = touched.as_mut_slice();
+            let cb = changed.as_mut_slice();
+            let mut clen = 0usize;
+            let mut left = to_freeze;
+            while left > 0 && !cand.is_empty() {
+                // Bottleneck scan: a packed-double min pass, then the
+                // lowest link id among the ties (ties are rare, so the
+                // second pass is a predictable not-taken branch).
+                let mn = simd_min(&cand_share[..]);
+                let bottleneck = tie_min_id(&cand_share[..], &cand[..], mn);
+                let share = mn.max(0.0);
+
+                // Freeze every unfrozen flow crossing the bottleneck and
+                // subtract its share along its route. Candidate shares
+                // are refreshed once per link at the end of the round —
+                // the intermediate quotients were never read, so the
+                // refresh divides once per touched link. The touched
+                // list may carry duplicates (two frozen flows sharing a
+                // hop); the refresh skips entries whose candidate slot
+                // no longer holds the link.
+                let flist = &lflows[bottleneck as usize];
+                let mut tlen = 0usize;
+                emptied.clear();
+                // Index form keeps `lflows` free for the freeze RMW below.
+                #[allow(clippy::needless_range_loop)]
+                for fi in 0..flist.len() {
+                    let f = flist[fi];
+                    let i = f as usize;
+                    if frozen[i] == epoch {
+                        continue;
+                    }
+                    frozen[i] = epoch;
+                    left -= 1;
+                    if rate[i] != share {
+                        rate[i] = share;
+                        rate_live[lpos[i] as usize] = share;
+                        cb[clen] = f;
+                        clen += 1;
+                    }
+                    let base = i * stride;
+                    for &l in &route_arena[base..base + route_len[i] as usize] {
+                        // The bottleneck's own scratch is never read
+                        // again: every flow crossing it freezes now, so
+                        // it is removed below instead of updated here.
+                        if l == bottleneck {
+                            continue;
+                        }
+                        let cl = &mut lcu[l as usize];
+                        // One packed sub/max over [capacity_left,
+                        // unfrozen]: lane 0 clamps at 0.0 exactly like
+                        // the scalar `(c - share).max(0.0)` (no NaNs, and
+                        // c - share is never -0.0); lane 1's clamp at
+                        // -inf is the identity.
+                        #[cfg(target_arch = "x86_64")]
+                        unsafe {
+                            use std::arch::x86_64::*;
+                            let v = _mm_loadu_pd(cl.as_ptr());
+                            let v = _mm_sub_pd(v, _mm_set_pd(1.0, share));
+                            let v = _mm_max_pd(v, _mm_set_pd(f64::NEG_INFINITY, 0.0));
+                            _mm_storeu_pd(cl.as_mut_ptr(), v);
+                        }
+                        #[cfg(not(target_arch = "x86_64"))]
+                        {
+                            cl[0] = (cl[0] - share).max(0.0);
+                            cl[1] -= 1.0;
+                        }
+                        if cl[1] == 0.0 {
+                            emptied.push(l);
+                        }
+                        tb[tlen] = l;
+                        tlen += 1;
+                    }
+                }
+                {
+                    let p = cand_pos[bottleneck as usize] as usize;
+                    cand.swap_remove(p);
+                    cand_share.swap_remove(p);
+                    if p < cand.len() {
+                        cand_pos[cand[p] as usize] = p as u32;
+                    }
+                }
+                // Refresh in two passes: drop emptied links first, then
+                // divide. The freeze loop recorded every link whose
+                // unfrozen count crossed zero (it crosses exactly once),
+                // so the removal pass walks that short list instead of
+                // every touched entry. With the structure mutations out
+                // of the way the division pass has no data dependence
+                // between iterations, so the quotients pipeline at
+                // divider throughput. Division results don't feed each
+                // other, so the order is free; removal order only
+                // permutes candidate slots, never the candidate set.
+                for &l in emptied.iter() {
+                    let p = cand_pos[l as usize] as usize;
+                    cand.swap_remove(p);
+                    cand_share.swap_remove(p);
+                    if p < cand.len() {
+                        cand_pos[cand[p] as usize] = p as u32;
+                    }
+                }
+                for &l in tb[..tlen].iter() {
+                    let l = l as usize;
+                    let p = cand_pos[l] as usize;
+                    if p >= cand.len() || cand[p] != l as u32 {
+                        continue;
+                    }
+                    let [c, u] = lcu[l];
+                    cand_share[p] = c / u;
+                }
+            }
+
+            // Re-project completion instants for flows whose rate moved;
+            // everyone else keeps both rate and ETA (their pacing
+            // entries stay valid).
+            let settled_at = self.settled_at;
+            if self.dense {
+                // Dense pacing: the heap would churn one push per flow
+                // per fill here; track the minimum ETA by scanning the
+                // flows this fill already touched instead.
+                if *heap_live {
+                    eta_heap.clear();
+                    *heap_live = false;
+                }
+                for &f in cb[..clen].iter() {
+                    let i = f as usize;
+                    let p = lpos[i] as usize;
+                    let e = project_eta(rem_live[p], rate[i], settled_at);
+                    eta[i] = e;
+                    eta_live[p] = e;
+                }
+                let mut mn = SimTime::MAX;
+                for &e in eta_live.iter() {
+                    mn = mn.min(e);
+                }
+                self.next_eta = if live.is_empty() { None } else { Some(mn) };
+                return;
+            }
+            if !*heap_live {
+                // Back from dense mode: rebuild the heap from the live
+                // set before the incremental pushes below.
+                eta_heap.clear();
+                for &f in live.iter() {
+                    eta_heap.push(EtaEntry {
+                        eta: eta[f as usize],
+                        flow: f,
+                    });
+                }
+                *heap_live = true;
+            }
+            for &f in cb[..clen].iter() {
+                let i = f as usize;
+                let p = lpos[i] as usize;
+                let e = project_eta(rem_live[p], rate[i], settled_at);
+                if e != eta[i] {
+                    eta[i] = e;
+                    eta_live[p] = e;
+                    eta_heap.push(EtaEntry { eta: e, flow: f });
+                }
+            }
+            // Compact the lazy heap when stale entries dominate, so long
+            // churny runs stay O(live) in memory.
+            if eta_heap.len() > 2 * live.len() + 64 {
+                eta_heap.clear();
+                for &idx in live.iter() {
+                    eta_heap.push(EtaEntry {
+                        eta: eta[idx as usize],
+                        flow: idx,
+                    });
+                }
+            }
+        } else if !*heap_live {
+            // Empty fill in dense pacing mode: completions may have
+            // removed the minimum; rescan the (possibly empty) live set.
+            let mut mn = SimTime::MAX;
+            for &e in eta_live.iter() {
+                mn = mn.min(e);
+            }
+            self.next_eta = if live.is_empty() { None } else { Some(mn) };
+            return;
         }
+
+        // Sparse pacing: pop stale heap entries (dead flow, or ETA
+        // moved) until the top is live and current.
+        loop {
+            match self.eta_heap.peek() {
+                None => {
+                    self.next_eta = None;
+                    return;
+                }
+                Some(e) => {
+                    let i = e.flow as usize;
+                    if self.alive[i] && self.eta[i] == e.eta {
+                        self.next_eta = Some(e.eta);
+                        return;
+                    }
+                }
+            }
+            self.eta_heap.pop();
+        }
+    }
+}
+
+/// Lowest id among `ids[i]` where `shares[i] == mn` (IEEE equality, same
+/// as the scalar `==`). On x86-64 this runs as packed compares with a
+/// movemask test per chunk; ties are rare, so the per-chunk branch is a
+/// predictable not-taken jump and the loop streams at load throughput.
+#[inline]
+fn tie_min_id(shares: &[f64], ids: &[u32], mn: f64) -> u32 {
+    debug_assert_eq!(shares.len(), ids.len());
+    let mut best = u32::MAX;
+    let mut i = 0;
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::*;
+        // SSE2 is part of the x86-64 baseline.
+        unsafe {
+            let needle = _mm_set1_pd(mn);
+            while i + 4 <= shares.len() {
+                let a = _mm_loadu_pd(shares.as_ptr().add(i));
+                let b = _mm_loadu_pd(shares.as_ptr().add(i + 2));
+                let m = _mm_movemask_pd(_mm_cmpeq_pd(a, needle))
+                    | (_mm_movemask_pd(_mm_cmpeq_pd(b, needle)) << 2);
+                if m != 0 {
+                    for k in 0..4 {
+                        if m & (1 << k) != 0 {
+                            best = best.min(ids[i + k]);
+                        }
+                    }
+                }
+                i += 4;
+            }
+        }
+    }
+    while i < shares.len() {
+        if shares[i] == mn {
+            best = best.min(ids[i]);
+        }
+        i += 1;
+    }
+    best
+}
+
+/// Branch-free minimum over a share slice, shaped so the paired `min`
+/// accumulators compile to packed-double instructions. `min` is exact
+/// and order-free, so the result is the same as a sequential fold.
+#[inline]
+fn simd_min(shares: &[f64]) -> f64 {
+    let mut a0 = [f64::INFINITY; 2];
+    let mut a1 = [f64::INFINITY; 2];
+    let mut a2 = [f64::INFINITY; 2];
+    let mut a3 = [f64::INFINITY; 2];
+    let mut it = shares.chunks_exact(8);
+    for c in &mut it {
+        a0 = [a0[0].min(c[0]), a0[1].min(c[1])];
+        a1 = [a1[0].min(c[2]), a1[1].min(c[3])];
+        a2 = [a2[0].min(c[4]), a2[1].min(c[5])];
+        a3 = [a3[0].min(c[6]), a3[1].min(c[7])];
+    }
+    let mut mn = a0[0]
+        .min(a0[1])
+        .min(a1[0].min(a1[1]))
+        .min(a2[0].min(a2[1]).min(a3[0].min(a3[1])));
+    for &s in it.remainder() {
+        mn = mn.min(s);
+    }
+    mn
+}
+
+/// Completion instant of a flow with `remaining` bytes at `rate`,
+/// projected from the settle point — the same rounding the from-scratch
+/// solver applied on every recompute.
+#[inline]
+fn project_eta(remaining: f64, rate: f64, settled_at: SimTime) -> SimTime {
+    if remaining <= EPS_BYTES {
+        settled_at
+    } else {
+        debug_assert!(rate > 0.0, "live flow with zero rate");
+        let ns = (remaining / rate).ceil().max(1.0) as u64;
+        settled_at + SimDuration::from_ns(ns)
     }
 }

@@ -18,6 +18,61 @@ mod flow;
 pub use fattree::{FatTreeGraph, FatTreeParams};
 pub use flow::{FlowSim, EPS_BYTES};
 
+/// Counters of the incremental max-min solver, accumulated over a
+/// [`FlowSim`]'s lifetime. One *recompute* is the dirty-set closure plus
+/// (unless the closure is empty) a water-filling pass over that
+/// component; flows outside the component keep their rate and ETA, which
+/// is what [`SolverStats::rate_updates_avoided`] counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolverStats {
+    /// Recompute passes run (one per admit, one per completion batch).
+    pub recomputes: u64,
+    /// Recomputes whose dirty closure held no live flows (the fast
+    /// path: the changed route's links are otherwise empty).
+    pub empty_recomputes: u64,
+    /// Total flows re-water-filled across all recomputes (= per-flow
+    /// rate assignments actually performed).
+    pub touched_flows: u64,
+    /// Total links reset and scanned across all recomputes.
+    pub touched_links: u64,
+    /// Live flows whose rate/ETA a recompute did *not* have to touch,
+    /// summed over recomputes — the work a from-scratch solver would
+    /// have redone.
+    pub rate_updates_avoided: u64,
+    /// Histogram of dirty-component sizes (flows per recompute), in
+    /// buckets `0, 1, 2-3, 4-7, 8-15, 16-31, 32-63, >=64`.
+    pub dirty_hist: [u64; 8],
+}
+
+impl SolverStats {
+    /// Bucket labels matching [`SolverStats::dirty_hist`].
+    pub const HIST_LABELS: [&'static str; 8] =
+        ["0", "1", "2-3", "4-7", "8-15", "16-31", "32-63", ">=64"];
+
+    /// Record one recompute that touched `dirty_flows` of the `live`
+    /// flows and reset `dirty_links` links.
+    pub fn record_component(&mut self, dirty_flows: usize, dirty_links: usize, live: usize) {
+        if dirty_flows == 0 {
+            self.empty_recomputes += 1;
+        }
+        self.touched_flows += dirty_flows as u64;
+        self.touched_links += dirty_links as u64;
+        self.rate_updates_avoided += (live - dirty_flows) as u64;
+        let bucket = match dirty_flows {
+            0 => 0,
+            1 => 1,
+            n => (usize::BITS - n.leading_zeros()).min(7) as usize,
+        };
+        self.dirty_hist[bucket] += 1;
+    }
+
+    /// Mean dirty-component size (flows actually re-water-filled per
+    /// recompute).
+    pub fn touched_flows_per_recompute(&self) -> f64 {
+        self.touched_flows as f64 / (self.recomputes.max(1)) as f64
+    }
+}
+
 use gaat_sim::SimTime;
 
 /// Index of a directed link in a topology graph.

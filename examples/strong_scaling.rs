@@ -4,19 +4,48 @@
 //! to find the crossover the paper reports.
 //!
 //! ```text
-//! cargo run --release --example strong_scaling [max_nodes]
+//! cargo run --release --example strong_scaling [max_nodes] [--topology flat|fattree]
 //! ```
+//!
+//! `--topology fattree` swaps the flat per-NIC interconnect for the
+//! explicit fat-tree model: messages then contend for NIC ports and
+//! leaf/spine trunks under max-min fair sharing, which steepens the
+//! scaling curve exactly where the paper's Summit runs do.
 
 use gaat::jacobi3d::{run_charm, run_mpi, CommMode, Dims, JacobiConfig};
 use gaat::rt::MachineConfig;
 
 fn main() {
-    let max_nodes: usize = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let topology = match args.iter().position(|a| a == "--topology") {
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| s.as_str())
+            .unwrap_or("flat")
+            .to_string(),
+        None => "flat".to_string(),
+    };
+    assert!(
+        topology == "flat" || topology == "fattree",
+        "--topology must be `flat` or `fattree`"
+    );
+    let max_nodes: usize = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.chars().all(|c| c.is_ascii_digit()))
         .map(|s| s.parse().expect("max_nodes must be a number"))
         .unwrap_or(32);
+    let machine = |nodes| {
+        if topology == "fattree" {
+            MachineConfig::summit_fattree(nodes)
+        } else {
+            MachineConfig::summit(nodes)
+        }
+    };
     let global = Dims::cube(768);
-    println!("strong scaling a {0}x{0}x{0} grid, 6 GPUs per node\n", 768);
+    println!(
+        "strong scaling a {0}x{0}x{0} grid, 6 GPUs per node, {1} interconnect\n",
+        768, topology
+    );
     println!(
         "{:<7} {:>12} {:>12} {:>24} {:>24}",
         "nodes", "MPI-H", "MPI-D", "Charm-H (best odf)", "Charm-D (best odf)"
@@ -25,7 +54,7 @@ fn main() {
     let mut nodes = 2;
     while nodes <= max_nodes {
         let base = |comm| {
-            let mut c = JacobiConfig::new(MachineConfig::summit(nodes), global);
+            let mut c = JacobiConfig::new(machine(nodes), global);
             c.comm = comm;
             c.iters = 25;
             c.warmup = 5;

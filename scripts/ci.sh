@@ -27,6 +27,10 @@ echo "==> topology benchmark (smoke)"
 # Runs the tiny congestion ablation and writes BENCH_net JSON; exits 1 if
 # the FatTree single-flow sanity pin diverges >1% from Flat.
 cargo run --release -p gaat-bench --bin net_speed -- --smoke --out /tmp/BENCH_net_smoke.json
+# Belt and braces on top of the binary's own exit code: the recorded
+# JSON must actually say the FatTree-vs-Flat sanity pin passed.
+grep -q '"pass": true' /tmp/BENCH_net_smoke.json \
+  || { echo "sanity_pin failed in BENCH_net_smoke.json" >&2; exit 1; }
 echo "topo smoke OK"
 
 echo "CI green"
