@@ -22,6 +22,7 @@ fn bench_fabric_commit(c: &mut Criterion) {
                         extra_latency: SimDuration::ZERO,
                         token: i as u64,
                         class: TrafficClass::Data,
+                        attempt: 0,
                     };
                     last = f.commit(SimTime::from_ns(i as u64 * 10), &m);
                 }

@@ -310,6 +310,11 @@ fn main() {
     let burst_n: u64 = if smoke { 200_000 } else { 4_000_000 };
     let cancel_n: u64 = if smoke { 100_000 } else { 1_000_000 };
 
+    // Bracket the whole benchmark with steady-state probe windows so a
+    // thermally-throttling host is recorded in the JSON, not silently
+    // baked into the numbers.
+    let mut guard = gaat_bench::throttle::ThrottleGuard::open(if smoke { 2 } else { 5 });
+
     // Best-of-N to shed scheduler noise; each rep rebuilds its Sim.
     let reps = if smoke { 1 } else { 5 };
     let best = |f: &dyn Fn() -> WorkloadResult| {
@@ -329,6 +334,7 @@ fn main() {
         best(&|| cancel_heavy(cancel_n)),
         best(&|| jacobi_step(smoke)),
     ];
+    guard.close();
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -364,8 +370,9 @@ fn main() {
         "  \"churn_boxed_speedup_vs_baseline\": {boxed_speedup:.3},\n"
     ));
     json.push_str(&format!(
-        "  \"churn_fast_speedup_vs_baseline\": {fast_speedup:.3}\n"
+        "  \"churn_fast_speedup_vs_baseline\": {fast_speedup:.3},\n"
     ));
+    json.push_str(&format!("  \"steady_state\": {}\n", guard.json_object()));
     json.push_str("}\n");
 
     for r in &results {
@@ -383,6 +390,15 @@ fn main() {
             "churn speedup vs seed baseline: boxed {boxed_speedup:.2}x, fast {fast_speedup:.2}x"
         );
     }
+    println!(
+        "steady-state drift {:.3}x{}",
+        guard.slowdown_ratio(),
+        if guard.throttle_suspected() {
+            "  ** thermal throttle suspected — numbers are biased **"
+        } else {
+            ""
+        }
+    );
     std::fs::write(&out, json).expect("write BENCH_engine.json");
     println!("wrote {out}");
 }

@@ -167,6 +167,7 @@ fn sanity_pin() -> SanityPin {
         extra_latency: SimDuration::ZERO,
         token: 1,
         class: TrafficClass::Data,
+        attempt: 0,
     };
     let mut params = NetParams {
         jitter: 0.0,
@@ -210,6 +211,11 @@ fn main() {
     let flows_total: u64 = if smoke { 4_000 } else { 400_000 };
     let concurrency = 256;
 
+    // Bracket the run with steady-state probe windows (see
+    // `gaat_bench::throttle`): a host that throttles mid-benchmark is
+    // recorded in the JSON instead of silently biasing the numbers.
+    let mut guard = gaat_bench::throttle::ThrottleGuard::open(if smoke { 2 } else { 5 });
+
     // Best-of-N on the churn microbenchmark to shed scheduler noise.
     let reps = if smoke { 1 } else { 5 };
     let mut churn = flow_churn(flows_total, concurrency, 42);
@@ -228,6 +234,7 @@ fn main() {
     ];
 
     let pin = sanity_pin();
+    guard.close();
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -286,9 +293,10 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"sanity_pin\": {{\"flat_ns\": {}, \"fattree_ns\": {}, \"rel_err\": {:.6}, \"pass\": {}}}\n",
+        "  \"sanity_pin\": {{\"flat_ns\": {}, \"fattree_ns\": {}, \"rel_err\": {:.6}, \"pass\": {}}},\n",
         pin.flat_ns, pin.fattree_ns, pin.rel_err, pin.pass
     ));
+    json.push_str(&format!("  \"steady_state\": {}\n", guard.json_object()));
     json.push_str("}\n");
 
     println!(
@@ -329,6 +337,15 @@ fn main() {
         pin.fattree_ns,
         pin.rel_err,
         if pin.pass { "OK" } else { "FAIL" }
+    );
+    println!(
+        "steady-state drift {:.3}x{}",
+        guard.slowdown_ratio(),
+        if guard.throttle_suspected() {
+            "  ** thermal throttle suspected — numbers are biased **"
+        } else {
+            ""
+        }
     );
     std::fs::write(&out, json).expect("write BENCH_net.json");
     println!("wrote {out}");

@@ -14,6 +14,7 @@ pub mod ablation;
 pub mod figures;
 pub mod harness;
 pub mod protocols;
+pub mod throttle;
 
 pub use figures::{fig6, fig7a, fig7b, fig7c, fig8, fig9, weak_dims};
 pub use harness::{best_per_point, Effort, Row, Variant};

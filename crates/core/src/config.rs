@@ -60,6 +60,10 @@ pub struct MachineConfig {
     pub rt: RtCosts,
     /// Root RNG seed (a "run" in the paper's three-trial averages).
     pub seed: u64,
+    /// Deterministic fault plan: message loss/corruption, link and PE
+    /// failures, straggler windows. Inert by default, so fault-free runs
+    /// are bit-identical to builds that predate fault injection.
+    pub faults: gaat_sim::FaultPlan,
     /// Allocate real (functional) buffers instead of phantom ones.
     pub real_buffers: bool,
     /// Record execution traces (entry spans per PE, kernel/memcpy spans
@@ -78,6 +82,7 @@ impl Default for MachineConfig {
             ucx: UcxParams::default(),
             rt: RtCosts::default(),
             seed: 1,
+            faults: gaat_sim::FaultPlan::none(),
             real_buffers: false,
             trace: false,
         }

@@ -73,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod ckpt;
 pub mod config;
 pub mod gpu_msg;
 pub mod lb;
@@ -82,6 +83,7 @@ pub mod pe;
 pub mod sdag;
 
 pub use channel::{create_channel, ChannelEnd};
+pub use ckpt::ChareSnapshot;
 pub use config::{MachineConfig, RtCosts};
 pub use machine::{Chare, Ctx, Machine, MachineStats, Simulation};
 pub use msg::{Callback, ChareId, EntryId, Envelope, MsgPriority};

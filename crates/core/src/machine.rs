@@ -30,6 +30,16 @@ use crate::pe::Pe;
 pub trait Chare: std::any::Any {
     /// Handle one message.
     fn receive(&mut self, ctx: &mut Ctx<'_>, env: Envelope);
+
+    /// Reinstall checkpointed state during failure recovery (the unpack
+    /// half of the PUP analogue). Called outside any entry method; the
+    /// resume entry registered with
+    /// [`Machine::set_recovery_resume`] is broadcast afterwards with the
+    /// recovery epoch as its refnum. The default panics: applications
+    /// that arm PE failures must implement it.
+    fn restore(&mut self, _snap: crate::ckpt::ChareSnapshot) {
+        panic!("chare does not implement Chare::restore for checkpoint recovery");
+    }
 }
 
 /// Where a fired GPU completion tag is routed.
@@ -62,6 +72,15 @@ enum AmKind {
         /// (pe, chares-on-that-pe) groups still to cover; the first group
         /// is this fragment's destination.
         groups: Vec<(usize, Vec<ChareId>)>,
+    },
+    /// A chare snapshot travelling to its buddy PE's memory.
+    Checkpoint {
+        chare: ChareId,
+        epoch: u64,
+        /// PE whose memory will hold the copy: snapshots stored on a PE
+        /// that later fails are lost with it.
+        stored_on: usize,
+        snap: crate::ckpt::ChareSnapshot,
     },
 }
 
@@ -130,14 +149,27 @@ enum Deferred {
         loc: MemLoc,
         user: u64,
     },
+    /// A chare snapshot leaving its entry method for the buddy PE.
+    Checkpoint {
+        src_pe: usize,
+        chare: ChareId,
+        epoch: u64,
+        snap: crate::ckpt::ChareSnapshot,
+    },
 }
 
 /// Fired deferred-action event: reclaims the slot, then performs the
 /// action.
 fn run_deferred(m: &mut Machine, sim: &mut Sim<Machine>, idx: u64) {
-    let d = m.deferred[idx as usize]
-        .take()
-        .expect("deferred slot empty");
+    let Some(d) = m.deferred[idx as usize].take() else {
+        // Recovery voids parked payloads in place; the already-scheduled
+        // event still fires and reclaims the slot here. Slots are only
+        // voided (never handed out) between the voiding and this firing,
+        // so the reclaim cannot double-free.
+        assert!(m.incarnation > 0, "deferred slot empty");
+        m.deferred_free.push(idx as u32);
+        return;
+    };
     m.deferred_free.push(idx as u32);
     match d {
         Deferred::LocalMsg { to, env } => m.enqueue_to_chare(sim, to, env),
@@ -190,7 +222,46 @@ fn run_deferred(m: &mut Machine, sim: &mut Sim<Machine>, idx: u64) {
             loc,
             user,
         } => gaat_ucx::irecv(m, sim, WorkerId(me), WorkerId(from_worker), tag, loc, user),
+        Deferred::Checkpoint {
+            src_pe,
+            chare,
+            epoch,
+            snap,
+        } => {
+            // Local half of the double checkpoint: a copy in the owner
+            // PE's own memory, no wire cost. It covers the case where the
+            // *buddy* is the PE that fails.
+            m.store_ckpt_copy(chare, epoch, src_pe, snap.clone());
+            let buddy = m.buddy_of(src_pe);
+            if buddy == src_pe {
+                return;
+            }
+            let bytes = snap.wire_bytes() + m.cfg.rt.envelope_bytes;
+            let token = m.next_am;
+            m.next_am += 1;
+            m.am_store.insert(
+                token,
+                AmKind::Checkpoint {
+                    chare,
+                    epoch,
+                    stored_on: buddy,
+                    snap,
+                },
+            );
+            gaat_ucx::am_send(m, sim, WorkerId(src_pe), WorkerId(buddy), bytes, token);
+        }
     }
+}
+
+/// Fired scheduled-PE-failure event: the process at
+/// `cfg.faults.pe_failures[idx]` vanishes.
+fn pe_fail_fire(m: &mut Machine, sim: &mut Sim<Machine>, idx: u64) {
+    m.pe_fail(sim, idx as usize);
+}
+
+/// Fired failure-detection event: begin global rollback recovery.
+fn recover_fire(m: &mut Machine, sim: &mut Sim<Machine>, failed_pe: u64) {
+    m.recover(sim, failed_pe as usize);
 }
 
 /// Fired PE-dispatch event (the scheduled half of [`Machine::kick_pe`]).
@@ -207,6 +278,14 @@ pub struct MachineStats {
     pub sends: u64,
     /// Chare migrations performed.
     pub migrations: u64,
+    /// Checkpoint snapshots accepted into buddy memory.
+    pub checkpoints_stored: u64,
+    /// PE failures injected by the fault plan.
+    pub pe_failures: u64,
+    /// Global rollback recoveries performed.
+    pub recoveries: u64,
+    /// Chares restored from snapshots across all recoveries.
+    pub chares_restored: u64,
 }
 
 /// The world type of every simulation in this stack.
@@ -236,6 +315,17 @@ pub struct Machine {
     /// Parked payloads of scheduled runtime actions (see [`Deferred`]).
     deferred: Vec<Option<Deferred>>,
     deferred_free: Vec<u32>,
+    /// Liveness of each PE (all true until a planned failure fires).
+    pe_alive: Vec<bool>,
+    /// Recovery generation: 0 until the first rollback. Event-layer
+    /// lookups stay strict (panic on unknown ids) while this is 0 and
+    /// tolerate post-purge stragglers afterwards.
+    incarnation: u64,
+    /// Buddy-held snapshots per chare: up to the last two epochs in
+    /// ascending order, each tagged with the PE whose memory holds it.
+    ckpts: HashMap<ChareId, Vec<(u64, usize, crate::ckpt::ChareSnapshot)>>,
+    /// Broadcast issued after every recovery to restart the application.
+    recovery_resume: Option<(Vec<ChareId>, crate::msg::EntryId)>,
     /// Root RNG (split per subsystem at construction).
     pub rng: SimRng,
     /// Entry-method span recorder, one lane per PE (enabled by
@@ -254,11 +344,17 @@ impl Machine {
             .map(|i| {
                 let mut d = Device::new(DeviceId(i), cfg.gpu.clone());
                 d.tracer.set_enabled(cfg.trace);
+                if !cfg.faults.stragglers.is_empty() {
+                    d.set_fault_plan(cfg.faults.clone());
+                }
                 d
             })
             .collect();
         let mut fabric = Fabric::new(cfg.nodes, cfg.net.clone(), rng.stream(1));
         fabric.set_tracing(cfg.trace);
+        if cfg.faults.is_active() {
+            fabric.set_faults(cfg.faults.clone());
+        }
         let ucx = UcxState::new(pes, cfg.ucx.clone());
         Machine {
             devices,
@@ -279,6 +375,10 @@ impl Machine {
             next_channel: 0,
             deferred: Vec::new(),
             deferred_free: Vec::new(),
+            pe_alive: vec![true; pes],
+            incarnation: 0,
+            ckpts: HashMap::new(),
+            recovery_resume: None,
             rng,
             tracer: if cfg.trace {
                 Tracer::enabled()
@@ -293,6 +393,184 @@ impl Machine {
     /// Statistics so far.
     pub fn stats(&self) -> MachineStats {
         self.stats
+    }
+
+    /// Whether a PE is still alive (false after a planned failure fires).
+    pub fn pe_alive(&self, pe: usize) -> bool {
+        self.pe_alive[pe]
+    }
+
+    /// Recovery generation: 0 until the first rollback.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// Register the entry broadcast to `targets` after every recovery
+    /// (refnum = the recovery epoch). Applications that arm PE failures
+    /// must call this during setup.
+    pub fn set_recovery_resume(&mut self, targets: Vec<ChareId>, entry: crate::msg::EntryId) {
+        self.recovery_resume = Some((targets, entry));
+    }
+
+    /// Schedule the fault plan's time-triggered faults (link and PE
+    /// failures). Called once by [`Simulation::new`]; drivers that build
+    /// a raw [`Machine`] and want faults must call it before running.
+    pub fn arm_faults(&mut self, sim: &mut Sim<Machine>) {
+        if !self.cfg.faults.is_active() {
+            return;
+        }
+        gaat_net::arm_link_faults(self, sim);
+        if !self.cfg.faults.pe_failures.is_empty() {
+            // After a purge, fabric-stashed deliveries for cancelled
+            // transfers must be tolerated, which only the reliable
+            // transport's token tracking can do.
+            assert!(
+                self.cfg.ucx.reliability.enabled,
+                "PE-failure recovery requires ucx.reliability.enabled"
+            );
+            for (i, pf) in self.cfg.faults.pe_failures.iter().enumerate() {
+                sim.at_call1(pf.at, pe_fail_fire, i as u64);
+            }
+        }
+    }
+
+    /// Accept one copy of a chare snapshot into `stored_on`'s memory.
+    /// Epochs older than the newest two are discarded: keeping two
+    /// guarantees a collectively complete cut survives a failure that
+    /// lands mid-checkpoint-wave.
+    fn store_ckpt_copy(
+        &mut self,
+        chare: ChareId,
+        epoch: u64,
+        stored_on: usize,
+        snap: crate::ckpt::ChareSnapshot,
+    ) {
+        self.stats.checkpoints_stored += 1;
+        let slots = self.ckpts.entry(chare).or_default();
+        slots.retain(|&(e, on, _)| !(e == epoch && on == stored_on));
+        slots.push((epoch, stored_on, snap));
+        slots.sort_by_key(|&(e, on, _)| (e, on));
+        let mut epochs: Vec<u64> = slots.iter().map(|&(e, _, _)| e).collect();
+        epochs.dedup();
+        if epochs.len() > 2 {
+            let cutoff = epochs[epochs.len() - 2];
+            slots.retain(|&(e, _, _)| e >= cutoff);
+        }
+    }
+
+    /// Next live PE after `pe` in ring order: the buddy that holds its
+    /// chares' checkpoints.
+    fn buddy_of(&self, pe: usize) -> usize {
+        let n = self.pes.len();
+        (1..=n)
+            .map(|k| (pe + k) % n)
+            .find(|&q| self.pe_alive[q])
+            .unwrap_or(pe)
+    }
+
+    /// A planned PE failure fires: the process vanishes. Queued work and
+    /// in-flight GPU work on it are gone; recovery begins once the
+    /// failure detector notices.
+    fn pe_fail(&mut self, sim: &mut Sim<Machine>, idx: usize) {
+        let pe = self.cfg.faults.pe_failures[idx].pe;
+        assert!(self.pe_alive[pe], "PE {pe} failed twice");
+        self.pe_alive[pe] = false;
+        self.stats.pe_failures += 1;
+        let now = sim.now();
+        self.devices[pe].purge(now);
+        self.pes[pe].clear();
+        sim.after_call1(self.cfg.faults.detection_delay, recover_fire, pe as u64);
+    }
+
+    /// Global rollback recovery after `failed` died (the restart half of
+    /// double in-memory checkpointing): tear down every layer's in-flight
+    /// state, re-place the dead PE's chares onto live PEs, restore all
+    /// chares from the newest collectively-held epoch, and broadcast the
+    /// registered resume entry.
+    fn recover(&mut self, sim: &mut Sim<Machine>, failed: usize) {
+        self.stats.recoveries += 1;
+        self.incarnation += 1;
+        // Communication layer first: cancel its retry timers, forget all
+        // in-flight transfers and routes. Anything the fabric still
+        // delivers afterwards is dropped as a stale token.
+        for timer in self.ucx.purge() {
+            sim.cancel(timer);
+        }
+        self.tag_routes.clear();
+        self.am_store.clear();
+        self.ucx_routes.clear();
+        self.reductions.clear();
+        // Void parked deferred payloads in place. The free list is NOT
+        // touched: each voided slot's already-scheduled event reclaims it
+        // when it fires (see `run_deferred`).
+        for slot in &mut self.deferred {
+            *slot = None;
+        }
+        let now = sim.now();
+        for pe in 0..self.pes.len() {
+            self.pes[pe].clear();
+            // Purge live devices too: in-flight kernels from before the
+            // rollback must not apply their effects to restored buffers.
+            self.devices[pe].purge(now);
+        }
+        // Snapshots held in the failed PE's memory died with it.
+        for slots in self.ckpts.values_mut() {
+            slots.retain(|&(_, on, _)| on != failed);
+        }
+        // Recovery epoch: the newest epoch every chare can restore.
+        let epoch = (0..self.chares.len())
+            .map(|c| {
+                self.ckpts
+                    .get(&ChareId(c))
+                    .and_then(|s| s.last())
+                    .map(|&(e, _, _)| e)
+                    .unwrap_or_else(|| panic!("chare {c} has no surviving checkpoint"))
+            })
+            .min()
+            .expect("machine has chares");
+        // Re-place chares stranded on the dead PE: heaviest first onto
+        // the least-loaded live PE (the greedy-LB rule, restricted to
+        // the refugees).
+        let mut pe_load = vec![0u64; self.pes.len()];
+        for c in 0..self.chares.len() {
+            let pe = self.chare_pe[c];
+            if self.pe_alive[pe] {
+                pe_load[pe] += self.chare_load[c].as_ns();
+            }
+        }
+        let mut refugees: Vec<usize> = (0..self.chares.len())
+            .filter(|&c| !self.pe_alive[self.chare_pe[c]])
+            .collect();
+        refugees.sort_by(|&a, &b| self.chare_load[b].cmp(&self.chare_load[a]).then(a.cmp(&b)));
+        for c in refugees {
+            let (target, _) = pe_load
+                .iter()
+                .enumerate()
+                .filter(|&(p, _)| self.pe_alive[p])
+                .min_by_key(|&(p, &l)| (l, p))
+                .expect("a live PE remains");
+            pe_load[target] += self.chare_load[c].as_ns();
+            self.migrate(ChareId(c), target);
+        }
+        // Restore every chare (global rollback) in id order.
+        for c in 0..self.chares.len() {
+            let snap = self.ckpts[&ChareId(c)]
+                .iter()
+                .rev()
+                .find(|&&(e, _, _)| e <= epoch)
+                .map(|(_, _, s)| s.clone())
+                .unwrap_or_else(|| panic!("chare {c} has no snapshot at or before epoch {epoch}"));
+            self.chares[c]
+                .as_mut()
+                .expect("chare resident during recovery")
+                .restore(snap);
+            self.stats.chares_restored += 1;
+        }
+        let (targets, entry) = self
+            .recovery_resume
+            .clone()
+            .expect("set_recovery_resume not called before a PE failure");
+        self.broadcast(sim, &targets, entry, epoch);
     }
 
     /// Number of registered chares.
@@ -512,7 +790,7 @@ impl Machine {
 
     /// Schedule a dispatch event for the PE if none is pending.
     fn kick_pe(&mut self, sim: &mut Sim<Machine>, pe: usize) {
-        if self.pes[pe].dispatch_scheduled || self.pes[pe].blocked {
+        if !self.pe_alive[pe] || self.pes[pe].dispatch_scheduled || self.pes[pe].blocked {
             return;
         }
         let at = match self.pes[pe].busy_until {
@@ -526,6 +804,9 @@ impl Machine {
     /// Execute at most one message on the PE and reschedule.
     fn run_pe(&mut self, sim: &mut Sim<Machine>, pe: usize) {
         self.pes[pe].dispatch_scheduled = false;
+        if !self.pe_alive[pe] {
+            return;
+        }
         let now = sim.now();
         if !self.pes[pe].ready(now) {
             if self.pes[pe].queued() > 0 && !self.pes[pe].blocked {
@@ -533,7 +814,12 @@ impl Machine {
             }
             return;
         }
-        let (chare_id, env) = self.pes[pe].pop().expect("ready implies nonempty");
+        let Some((chare_id, env)) = self.pes[pe].pop() else {
+            // A recovery cleared the queue between the kick and this
+            // dispatch event.
+            assert!(self.incarnation > 0, "ready implies nonempty");
+            return;
+        };
         self.pes[pe].stats.messages += 1;
         let env_priority_high = env.priority == crate::msg::MsgPriority::High;
         if env_priority_high {
@@ -620,10 +906,10 @@ impl GpuHost for Machine {
     }
 
     fn on_gpu_complete(&mut self, sim: &mut Sim<Self>, _dev: DeviceId, tag: CompletionTag) {
-        let route = self
-            .tag_routes
-            .remove(&tag.0)
-            .expect("unknown completion tag");
+        let Some(route) = self.tag_routes.remove(&tag.0) else {
+            assert!(self.incarnation > 0, "unknown completion tag");
+            return;
+        };
         match route {
             TagRoute::Callback(cb) => self.deliver_callback(sim, cb, None),
             TagRoute::UnblockPe { pe, then } => {
@@ -644,6 +930,13 @@ impl NetHost for Machine {
     fn on_net_deliver(&mut self, sim: &mut Sim<Self>, msg: NetMsg) {
         gaat_ucx::on_net_deliver(self, sim, msg);
     }
+
+    fn on_net_dropped(&mut self, sim: &mut Sim<Self>, msg: NetMsg) {
+        // A link failure aborted the flow (or admission found no route):
+        // tell the reliability layer so it retransmits immediately
+        // instead of waiting out the ack timeout.
+        gaat_ucx::on_net_dropped(self, sim, msg);
+    }
 }
 
 impl UcxHost for Machine {
@@ -655,10 +948,18 @@ impl UcxHost for Machine {
         NodeId(self.cfg.node_of_pe(w.0))
     }
 
+    fn worker_alive(&self, w: WorkerId) -> bool {
+        self.pe_alive[w.0]
+    }
+
     fn on_ucx_event(&mut self, sim: &mut Sim<Self>, ev: UcxEvent) {
         match ev {
             UcxEvent::AmDelivered { at: _, user } => {
-                match self.am_store.remove(&user).expect("unknown AM token") {
+                let Some(kind) = self.am_store.remove(&user) else {
+                    assert!(self.incarnation > 0, "unknown AM token");
+                    return;
+                };
+                match kind {
                     AmKind::Chare(to, env) => self.enqueue_to_chare(sim, to, env),
                     AmKind::Contribution {
                         reducer,
@@ -681,11 +982,27 @@ impl UcxHost for Machine {
                         refnum,
                         groups,
                     } => self.deliver_broadcast(sim, entry, refnum, groups),
+                    AmKind::Checkpoint {
+                        chare,
+                        epoch,
+                        stored_on,
+                        snap,
+                    } => self.store_ckpt_copy(chare, epoch, stored_on, snap),
                 }
             }
             UcxEvent::SendDone { worker: _, user } | UcxEvent::RecvDone { worker: _, user } => {
-                let cb = self.ucx_routes.remove(&user).expect("unknown UCX route");
+                let Some(cb) = self.ucx_routes.remove(&user) else {
+                    assert!(self.incarnation > 0, "unknown UCX route");
+                    return;
+                };
                 self.deliver_callback(sim, cb, None);
+            }
+            UcxEvent::PeerDead { worker: _ } => {
+                // The transport gave up on a peer after max_retries. With
+                // planned faults, recovery is driven by the armed failure
+                // events (the simulated failure detector), so escalation
+                // here is advisory; the attempt is already counted in
+                // `UcxStats::peers_dead`.
             }
         }
     }
@@ -844,6 +1161,25 @@ impl<'a> Ctx<'a> {
         self.sim.at_call1(at, run_deferred, idx);
     }
 
+    /// Ship a snapshot of the executing chare's state at logical `epoch`
+    /// to its buddy PE's memory (double in-memory checkpointing). Costs a
+    /// real runtime message sized by the snapshot; the buddy retains the
+    /// last two epochs. Typically called from a collective point (an
+    /// iteration boundary every `checkpoint_every` iterations).
+    pub fn store_checkpoint(&mut self, epoch: u64, snap: crate::ckpt::ChareSnapshot) {
+        self.charged += self.machine.cfg.rt.send_overhead;
+        let src_pe = self.pe;
+        let chare = self.chare;
+        let at = self.sim.now() + self.charged;
+        let idx = self.machine.defer(Deferred::Checkpoint {
+            src_pe,
+            chare,
+            epoch,
+            snap,
+        });
+        self.sim.at_call1(at, run_deferred, idx);
+    }
+
     /// Enqueue with no extra charge (internal; charge added by callers).
     fn gpu_enqueue_at(&mut self, stream: StreamId, op: Op) {
         let dev = self.device();
@@ -899,10 +1235,10 @@ pub struct Simulation {
 impl Simulation {
     /// Build a simulation from a configuration.
     pub fn new(cfg: MachineConfig) -> Self {
-        Simulation {
-            sim: Sim::new().with_event_limit(5_000_000_000),
-            machine: Machine::new(cfg),
-        }
+        let mut sim = Sim::new().with_event_limit(5_000_000_000);
+        let mut machine = Machine::new(cfg);
+        machine.arm_faults(&mut sim);
+        Simulation { sim, machine }
     }
 
     /// Run to quiescence (the drained event queue *is* quiescence

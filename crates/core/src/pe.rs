@@ -65,6 +65,18 @@ impl Pe {
         self.high.len() + self.normal.len()
     }
 
+    /// Drop all queued messages and execution state (failure recovery).
+    /// Counters survive. A dispatch event already in flight will find an
+    /// empty queue and do nothing; clearing `dispatch_scheduled` lets
+    /// post-recovery traffic schedule a fresh one.
+    pub fn clear(&mut self) {
+        self.high.clear();
+        self.normal.clear();
+        self.busy_until = None;
+        self.blocked = false;
+        self.dispatch_scheduled = false;
+    }
+
     /// Whether the PE can start executing a message right now.
     pub fn ready(&self, now: SimTime) -> bool {
         !self.blocked

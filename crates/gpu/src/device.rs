@@ -10,7 +10,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use gaat_sim::{SimTime, Tracer};
+use gaat_sim::{FaultPlan, SimDuration, SimTime, Tracer};
 
 use crate::engines::{ComputeEngine, DmaEngine, JobId, PRIORITY_CLASSES};
 use crate::graph::{GraphInstance, GraphNodeKind, GraphSpec};
@@ -98,6 +98,8 @@ pub struct Device {
     completions: Vec<CompletionTag>,
     /// Earliest wakeup currently scheduled by the pump (dedup only).
     pub(crate) scheduled_wakeup: Option<SimTime>,
+    /// Fault plan consulted for straggler windows (inert by default).
+    faults: FaultPlan,
     stats: DeviceStats,
     /// Span recorder (disabled unless the embedder enables it); lanes:
     /// 0 = compute engine, 1 = D2H engine, 2 = H2D engine.
@@ -123,6 +125,7 @@ impl Device {
             next_job: 0,
             completions: Vec::new(),
             scheduled_wakeup: None,
+            faults: FaultPlan::none(),
             stats: DeviceStats::default(),
             tracer: Tracer::new(),
         }
@@ -240,6 +243,52 @@ impl Device {
     /// Take all completion tags fired since the last drain.
     pub fn drain_completions(&mut self) -> Vec<CompletionTag> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Install the fault plan consulted for straggler windows. Work
+    /// submitted while a window covers this device takes `slowdown`
+    /// times as long.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Straggler dilation for work submitted at `now`. Sampled once at
+    /// submission: a job that spans a window boundary keeps the factor
+    /// it was admitted with.
+    fn dilate(&self, now: SimTime, d: SimDuration) -> SimDuration {
+        if self.faults.stragglers.is_empty() {
+            return d;
+        }
+        let f = self.faults.straggler_slowdown(self.id.0, now);
+        if f == 1.0 {
+            d
+        } else {
+            d.mul_f64(f)
+        }
+    }
+
+    /// Abandon every piece of queued and in-flight work: stream queues,
+    /// engine jobs, graph instances, undrained completion tags, and
+    /// recorded events. Used by the runtime's failure recovery, where
+    /// work issued before a rollback must neither complete nor apply its
+    /// functional effects afterwards.
+    pub fn purge(&mut self, now: SimTime) {
+        for s in &mut self.streams {
+            s.queue.clear();
+            s.in_flight = false;
+        }
+        for e in &mut self.events {
+            *e = None;
+        }
+        for i in &mut self.instances {
+            *i = None;
+        }
+        self.jobs.clear();
+        self.completions.clear();
+        self.compute.clear(now);
+        self.d2h.clear(now);
+        self.h2d.clear(now);
+        self.scheduled_wakeup = None;
     }
 
     /// Account progress up to `now`, apply effects, issue ready work, and
@@ -378,7 +427,7 @@ impl Device {
                     meta: meta(0, spec.name),
                 });
                 self.stats.graph_nodes += 1;
-                let dur = spec.work + self.timing.graph_node_dispatch;
+                let dur = self.dilate(now, spec.work + self.timing.graph_node_dispatch);
                 self.compute.submit(now, job, class, dur);
             }
             GraphNodeKind::MemcpyD2H { src, .. } => {
@@ -389,7 +438,7 @@ impl Device {
                 });
                 self.stats.memcpys += 1;
                 self.stats.memcpy_bytes += src.bytes();
-                let dur = self.timing.dma_time(src.bytes());
+                let dur = self.dilate(now, self.timing.dma_time(src.bytes()));
                 self.d2h.submit(now, job, class, dur, src.bytes());
             }
             GraphNodeKind::MemcpyH2D { src, .. } => {
@@ -400,7 +449,7 @@ impl Device {
                 });
                 self.stats.memcpys += 1;
                 self.stats.memcpy_bytes += src.bytes();
-                let dur = self.timing.dma_time(src.bytes());
+                let dur = self.dilate(now, self.timing.dma_time(src.bytes()));
                 self.h2d.submit(now, job, class, dur, src.bytes());
             }
         }
@@ -471,7 +520,7 @@ impl Device {
                         },
                     });
                     self.stats.kernels += 1;
-                    let dur = spec.work + self.timing.kernel_dispatch;
+                    let dur = self.dilate(now, spec.work + self.timing.kernel_dispatch);
                     self.compute.submit(now, job, class, dur);
                     self.streams[s].in_flight = true;
                     progressed = true;
@@ -497,7 +546,7 @@ impl Device {
                     });
                     self.stats.memcpys += 1;
                     self.stats.memcpy_bytes += src.bytes();
-                    let dur = self.timing.dma_time(src.bytes());
+                    let dur = self.dilate(now, self.timing.dma_time(src.bytes()));
                     let engine = if to_host {
                         &mut self.d2h
                     } else {

@@ -66,6 +66,17 @@ impl ComputeEngine {
         self.running.len()
     }
 
+    /// Drop every running and queued job without completing it (failure
+    /// recovery). Lifetime counters survive; utilization stops accruing.
+    pub fn clear(&mut self, now: SimTime) {
+        self.running.clear();
+        for q in &mut self.queued {
+            q.clear();
+        }
+        self.last = now;
+        self.busy.set_busy(now, false);
+    }
+
     fn top_class(&self) -> Option<usize> {
         self.running.iter().map(|j| j.class).max()
     }
@@ -194,6 +205,16 @@ impl DmaEngine {
     /// Total bytes accepted for transfer.
     pub fn bytes_total(&self) -> u64 {
         self.bytes_total
+    }
+
+    /// Drop the in-flight transfer and every queued one without
+    /// completing them (failure recovery). Lifetime counters survive.
+    pub fn clear(&mut self, now: SimTime) {
+        self.current = None;
+        for q in &mut self.queued {
+            q.clear();
+        }
+        self.busy.set_busy(now, false);
     }
 
     fn pop_next(&mut self) -> Option<DmaJob> {

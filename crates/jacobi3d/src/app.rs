@@ -125,6 +125,10 @@ pub struct JacobiConfig {
     /// field via a runtime reduction over all blocks (task-runtime
     /// version only). Functional value requires real buffers.
     pub compute_norm: bool,
+    /// Checkpoint every N iteration boundaries to the buddy PE (0 = off;
+    /// task-runtime version only). Required when the machine's fault
+    /// plan schedules PE failures.
+    pub checkpoint_every: usize,
 }
 
 impl JacobiConfig {
@@ -146,6 +150,7 @@ impl JacobiConfig {
             comm_priority: 2,
             virtual_ranks: 1,
             compute_norm: false,
+            checkpoint_every: 0,
         }
     }
 

@@ -22,8 +22,9 @@ use std::sync::Arc;
 
 use gaat_gpu::{CudaEventId, GraphBuilder};
 use gaat_rt::{
-    create_channel, BufRange, BufferId, Callback, ChannelEnd, Chare, ChareId, Ctx, EntryId,
-    Envelope, GraphId, KernelSpec, MemLoc, Op, Simulation, Space, StreamId, WhenSet,
+    create_channel, BufRange, BufferId, Callback, ChannelEnd, Chare, ChareId, ChareSnapshot, Ctx,
+    DeviceId, EntryId, Envelope, GraphId, KernelSpec, MemLoc, Op, Simulation, Space, StreamId,
+    WhenSet,
 };
 use gaat_sim::SimTime;
 
@@ -50,6 +51,9 @@ pub const E_STAGED: EntryId = EntryId(6);
 pub const E_RECV_HALO: EntryId = EntryId(7);
 /// The final-norm reduction result (delivered to block 0).
 pub const E_NORM: EntryId = EntryId(8);
+/// Restart after a failure recovery (refnum = the recovery epoch, i.e.
+/// the iteration count every block rolled back to).
+pub const E_RESUME: EntryId = EntryId(9);
 
 /// Host-staged halo payload.
 pub struct HaloMsg {
@@ -101,6 +105,12 @@ pub struct BlockChare {
     arrived: usize,
     sends_done: usize,
     pending: WhenSet,
+    /// Device holding this block's buffers (tracked so a post-recovery
+    /// resume can detect migration and re-provision).
+    dev: DeviceId,
+    /// Snapshot handed over by [`Chare::restore`], applied at `E_RESUME`
+    /// (restore has no machine access, so device memory is written then).
+    resume: Option<ChareSnapshot>,
     /// Time this block finished its warm-up iterations.
     pub warm_at: Option<SimTime>,
     /// Time this block finished all iterations.
@@ -237,7 +247,8 @@ impl BlockChare {
     }
 
     /// Crossed an iteration boundary (counter already incremented):
-    /// record timings; false = run complete, stop issuing work.
+    /// record timings, maybe checkpoint; false = run complete, stop
+    /// issuing work.
     fn on_iteration_boundary(&mut self, ctx: &mut Ctx<'_>) -> bool {
         if self.iter == self.sh.cfg.warmup {
             self.warm_at = Some(ctx.start_time());
@@ -249,7 +260,84 @@ impl BlockChare {
             }
             return false;
         }
+        let every = self.sh.cfg.checkpoint_every;
+        if every > 0 && self.iter > 0 && self.iter.is_multiple_of(every) {
+            let snap = self.snapshot(ctx);
+            ctx.store_checkpoint(self.iter as u64, snap);
+        }
         true
+    }
+
+    /// Serialize the block at an iteration boundary: the iteration count
+    /// and the interior of the current solution buffer. Ghost cells are
+    /// excluded — the restart re-runs the halo exchange before the next
+    /// update reads them.
+    fn snapshot(&self, ctx: &mut Ctx<'_>) -> ChareSnapshot {
+        let d = self.dims;
+        let mut floats = Vec::new();
+        if let Some(s) = ctx.machine.devices[self.dev.0]
+            .mem
+            .get(self.u[self.cur])
+            .as_slice()
+        {
+            floats.reserve(d.count());
+            for z in 1..=d.z {
+                for y in 1..=d.y {
+                    for x in 1..=d.x {
+                        floats.push(s[kernels::idx(d, x, y, z)]);
+                    }
+                }
+            }
+        }
+        ChareSnapshot {
+            ints: vec![self.iter as i64],
+            floats,
+        }
+    }
+
+    /// Re-create device-side resources on the PE's device after a
+    /// migration forced by failure recovery (the old device's allocations
+    /// are stranded — acceptable in the model, where device memory is
+    /// only accounted at build time). Channels and graphs are per-device
+    /// and not rebuilt: recovery is supported for the host-staging,
+    /// non-graph configurations.
+    fn reprovision(&mut self, ctx: &mut Ctx<'_>) {
+        assert!(
+            self.sh.cfg.comm == CommMode::HostStaging && !self.sh.cfg.graphs,
+            "post-recovery migration requires host-staging, non-graph config"
+        );
+        let real = self.sh.cfg.machine.real_buffers;
+        let dims = self.dims;
+        let dev = ctx.device();
+        let device = &mut ctx.machine.devices[dev.0];
+        let len = kernels::ghosted_len(dims);
+        self.u = [
+            device.mem.alloc(Space::Device, len, real),
+            device.mem.alloc(Space::Device, len, real),
+        ];
+        for &f in &self.faces {
+            let cells = f.area(dims);
+            let i = f.index();
+            self.halo_send_d[i] = Some(device.mem.alloc(Space::Device, cells, real));
+            self.halo_recv_d[i] = Some(device.mem.alloc(Space::Device, cells, real));
+            self.halo_send_h[i] = Some(device.mem.alloc(Space::Host, cells, real));
+            self.halo_recv_h[i] = Some(device.mem.alloc(Space::Host, cells, real));
+            self.ev_face[i] = Some(device.create_event());
+        }
+        let comp = device.create_stream(0);
+        let prio = self.sh.cfg.comm_priority;
+        let comm = device.create_stream(prio);
+        let (d2h, h2d) = match self.sh.cfg.sync {
+            SyncMode::Original => (comm, comm),
+            SyncMode::Optimized => (device.create_stream(prio), device.create_stream(prio)),
+        };
+        self.comp = comp;
+        self.comm = comm;
+        self.d2h = d2h;
+        self.h2d = h2d;
+        self.ev_unpacks = device.create_event();
+        self.ev_update = device.create_event();
+        self.dev = dev;
     }
 
     /// Contribute this block's squared norm to the global reduction (the
@@ -526,8 +614,51 @@ impl Chare for BlockChare {
                     self.pending.deposit(env);
                 }
             }
+            E_RESUME => {
+                let snap = self.resume.take().expect("restore() ran before E_RESUME");
+                let epoch = env.refnum as usize;
+                assert_eq!(
+                    snap.ints[0] as usize, epoch,
+                    "block restored from a different epoch than the recovery line"
+                );
+                self.iter = epoch;
+                self.arrived = 0;
+                self.sends_done = 0;
+                self.pending = WhenSet::new();
+                self.done_at = None;
+                if ctx.device() != self.dev {
+                    self.reprovision(ctx);
+                }
+                // Land the checkpointed interior into the current
+                // solution buffer; ghosts are refreshed by the exchange
+                // the restart re-runs.
+                let d = self.dims;
+                if let Some(s) = ctx.machine.devices[self.dev.0]
+                    .mem
+                    .get_mut(self.u[self.cur])
+                    .as_mut_slice()
+                {
+                    let mut k = 0;
+                    for z in 1..=d.z {
+                        for y in 1..=d.y {
+                            for x in 1..=d.x {
+                                s[kernels::idx(d, x, y, z)] = snap.floats[k];
+                                k += 1;
+                            }
+                        }
+                    }
+                }
+                // Unpack cost of the restore, then rejoin the loop the
+                // same way E_START enters it: pack and exchange.
+                ctx.compute(gaat_sim::SimDuration::from_us(10));
+                self.enqueue_packs(ctx, self.cur, Callback::to(ctx.me(), E_PACKED));
+            }
             other => panic!("unknown entry {other:?}"),
         }
+    }
+
+    fn restore(&mut self, snap: ChareSnapshot) {
+        self.resume = Some(snap);
     }
 }
 
@@ -638,6 +769,8 @@ pub fn build(cfg: JacobiConfig) -> (Simulation, Vec<ChareId>, Arc<Shared>) {
             arrived: 0,
             sends_done: 0,
             pending: WhenSet::new(),
+            dev,
+            resume: None,
             warm_at: if cfg.warmup == 0 {
                 Some(SimTime::ZERO)
             } else {
@@ -661,6 +794,14 @@ pub fn build(cfg: JacobiConfig) -> (Simulation, Vec<ChareId>, Arc<Shared>) {
 
     for d in &sim.machine.devices {
         d.assert_memory_fits();
+    }
+
+    if !cfg.machine.faults.pe_failures.is_empty() {
+        assert!(
+            cfg.checkpoint_every > 0,
+            "PE failures are armed but checkpointing is off"
+        );
+        sim.machine.set_recovery_resume(ids.clone(), E_RESUME);
     }
 
     // Wire channels (GPU-aware mode).

@@ -21,11 +21,14 @@
 
 #![warn(missing_docs)]
 
-use gaat_sim::{EventId, Sim, SimDuration, SimRng, SimTime, Tracer};
-pub use gaat_topo::{
-    BusySpan, CongestionSummary, FatTreeParams, LinkId, LinkKind, LinkUsage, SolverStats,
+use gaat_sim::{
+    EventId, FaultPlan, LinkFaultKind, MsgFate, Sim, SimDuration, SimRng, SimTime, Tracer,
 };
-use gaat_topo::{FatTreeGraph, FlowSim};
+use gaat_topo::FlowSim;
+pub use gaat_topo::{
+    BusySpan, CongestionSummary, FatTreeGraph, FatTreeParams, LinkId, LinkKind, LinkUsage,
+    SolverStats,
+};
 
 /// Identifier of a machine node (which hosts several PEs/GPUs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -122,6 +125,11 @@ pub struct NetMsg {
     pub token: u64,
     /// Traffic class, for accounting.
     pub class: TrafficClass,
+    /// Retransmission attempt number; 0 for the first transmission. Kept
+    /// out of the jitter hash (a retry replays the original wire cost)
+    /// but fed to the fault plan so each attempt gets an independent
+    /// drop/corrupt draw.
+    pub attempt: u32,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -156,21 +164,70 @@ pub struct NetStats {
     /// Incremental rate-solver counters (recomputes, dirty-component
     /// size histogram, rate updates avoided; all zero under `Flat`).
     pub solver: SolverStats,
+    /// Messages silently dropped at injection by the fault plan.
+    pub drops: u64,
+    /// Messages corrupted in flight (checksum-discarded at the receiver
+    /// after paying full wire cost).
+    pub corrupts: u64,
+    /// Retransmissions admitted (messages with `attempt > 0`).
+    pub retransmits: u64,
+    /// Cross-leaf admissions routed via an alternate spine because the
+    /// primary D-mod-k spine was down.
+    pub failovers: u64,
+    /// Scheduled link fault events applied (down/up/degrade).
+    pub link_faults: u64,
+    /// In-flight flows aborted by a link going down (each is surfaced to
+    /// the host via `NetHost::on_net_dropped`).
+    pub flow_aborts: u64,
+    /// Admissions refused because link failures left no path between the
+    /// endpoints (also surfaced via `NetHost::on_net_dropped`).
+    pub no_routes: u64,
+}
+
+/// Outcome of [`Topology::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Open-loop: the delivery instant is fixed at admission.
+    Deliver(SimTime),
+    /// Closed-loop: the topology owns the message's progress as a flow;
+    /// `failover` reports whether an alternate route carried it because
+    /// the primary path was down.
+    Flow {
+        /// True when the route detoured around a failed link.
+        failover: bool,
+    },
+    /// Link failures have disconnected the endpoints; the message is
+    /// dead on arrival and the fabric surfaces it as dropped.
+    NoRoute,
 }
 
 /// The pricing-and-scheduling backend behind a [`Fabric`].
 ///
 /// `admit` either prices the message immediately (open-loop models
-/// return `Some(delivery)`) or takes ownership of its progress and
-/// returns `None`, in which case the fabric keeps one wakeup event at
-/// [`Topology::next_wakeup`] and calls [`Topology::advance`] there to
-/// learn which in-flight slots completed — the idempotent
+/// return [`Admit::Deliver`]) or takes ownership of its progress and
+/// returns [`Admit::Flow`], in which case the fabric keeps one wakeup
+/// event at [`Topology::next_wakeup`] and calls [`Topology::advance`]
+/// there to learn which in-flight slots completed — the idempotent
 /// settle/complete/reschedule state machine from `gaat-topo`.
 pub trait Topology: std::fmt::Debug + Send {
     /// Price `msg` (already jittered by `jitter`) entering at `now`.
     /// `flight` is the fabric's in-flight slot, echoed back through
     /// [`Topology::advance`] for closed-loop models.
-    fn admit(&mut self, now: SimTime, msg: &NetMsg, jitter: f64, flight: u32) -> Option<SimTime>;
+    fn admit(&mut self, now: SimTime, msg: &NetMsg, jitter: f64, flight: u32) -> Admit;
+
+    /// Apply a scheduled link state change at `now`: down links reroute
+    /// future traffic and abort the flows crossing them (their fabric
+    /// flight slots are pushed to `aborted`), degradations rescale
+    /// capacity, and `Up` restores the nominal bandwidth. Open-loop
+    /// models have no link graph and ignore faults.
+    fn apply_link_fault(
+        &mut self,
+        _now: SimTime,
+        _link: LinkId,
+        _kind: LinkFaultKind,
+        _aborted: &mut Vec<u64>,
+    ) {
+    }
 
     /// Earliest instant at which `advance` would have something to do.
     /// Takes `&mut self` so closed-loop models can run their deferred
@@ -220,12 +277,12 @@ struct Flat {
 }
 
 impl Topology for Flat {
-    fn admit(&mut self, now: SimTime, msg: &NetMsg, jitter: f64, _flight: u32) -> Option<SimTime> {
+    fn admit(&mut self, now: SimTime, msg: &NetMsg, jitter: f64, _flight: u32) -> Admit {
         if msg.src == msg.dst {
             // Intra-node: latency + serialization, no NIC contention.
             let ser = self.params.intra_ser(msg.bytes).mul_f64(jitter);
             let lat = (self.params.intra_latency + msg.extra_latency).mul_f64(jitter);
-            return Some(now + lat + ser);
+            return Admit::Deliver(now + lat + ser);
         }
         let ser = self.params.inter_ser(msg.bytes).mul_f64(jitter);
         let latency = (self.params.inter_latency + msg.extra_latency).mul_f64(jitter);
@@ -240,7 +297,7 @@ impl Topology for Flat {
         let tail_arrival = depart + latency + ser;
         let delivery = tail_arrival.max(self.nics[msg.dst.0].ingress_free + ser);
         self.nics[msg.dst.0].ingress_free = delivery;
-        Some(delivery)
+        Admit::Deliver(delivery)
     }
 }
 
@@ -279,15 +336,21 @@ impl FatTree {
 }
 
 impl Topology for FatTree {
-    fn admit(&mut self, now: SimTime, msg: &NetMsg, jitter: f64, flight: u32) -> Option<SimTime> {
-        let hops = self.graph.route(msg.src.0, msg.dst.0, &mut self.route_buf);
+    fn admit(&mut self, now: SimTime, msg: &NetMsg, jitter: f64, flight: u32) -> Admit {
+        let info = match self
+            .graph
+            .try_route(msg.src.0, msg.dst.0, &mut self.route_buf)
+        {
+            Some(info) => info,
+            None => return Admit::NoRoute,
+        };
         let base = if msg.src == msg.dst {
             self.intra_latency
         } else {
             self.inter_latency
         };
         let latency =
-            (base + self.hop_latency * u64::from(hops) + msg.extra_latency).mul_f64(jitter);
+            (base + self.hop_latency * u64::from(info.hops) + msg.extra_latency).mul_f64(jitter);
         if self.tail_latency.len() <= flight as usize {
             self.tail_latency
                 .resize(flight as usize + 1, SimDuration::ZERO);
@@ -299,7 +362,35 @@ impl Topology for FatTree {
             msg.bytes as f64 * jitter,
             flight as u64,
         );
-        None
+        Admit::Flow {
+            failover: info.failover,
+        }
+    }
+
+    fn apply_link_fault(
+        &mut self,
+        now: SimTime,
+        link: LinkId,
+        kind: LinkFaultKind,
+        aborted: &mut Vec<u64>,
+    ) {
+        match kind {
+            LinkFaultKind::Down => {
+                self.graph.set_link_state(link, false);
+                self.flows.abort_link(now, link, aborted);
+            }
+            LinkFaultKind::Up => {
+                self.graph.set_link_state(link, true);
+                // Restore nominal capacity (undoes any prior degradation).
+                let bw = self.graph.links()[link.0 as usize].bw;
+                self.flows.set_link_bw(now, link, bw);
+            }
+            LinkFaultKind::Degrade(factor) => {
+                let bw = self.graph.links()[link.0 as usize].bw;
+                self.flows
+                    .set_link_bw(now, link, bw * factor.clamp(1e-6, 1.0));
+            }
+        }
     }
 
     fn next_wakeup(&mut self) -> Option<SimTime> {
@@ -354,6 +445,10 @@ pub struct Fabric {
     in_flight_free: Vec<u32>,
     /// The single pending topology wakeup event, if any.
     wakeup: Option<(SimTime, EventId)>,
+    /// The fault plan in effect (inert by default).
+    faults: FaultPlan,
+    /// Scratch for link-abort victim collection.
+    abort_buf: Vec<u64>,
     /// Per-link busy lanes (lane = [`LinkId`]); enable via
     /// [`Fabric::set_tracing`] and merge into a machine timeline with
     /// `Tracer::extend_from`.
@@ -382,10 +477,24 @@ impl Fabric {
             in_flight: Vec::new(),
             in_flight_free: Vec::new(),
             wakeup: None,
+            faults: FaultPlan::none(),
+            abort_buf: Vec::new(),
             tracer: Tracer::new(),
             scratch: Vec::new(),
             span_buf: Vec::new(),
         }
+    }
+
+    /// Install a fault plan. The stochastic drop/corrupt draws take
+    /// effect on subsequent sends; scheduled link faults must still be
+    /// armed on the event queue via [`arm_link_faults`].
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// The fault plan in effect.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Park an in-flight message; its index rides in the delivery event.
@@ -460,6 +569,9 @@ impl Fabric {
             self.stats.control_messages += 1;
             self.stats.control_bytes += msg.bytes;
         }
+        if msg.attempt > 0 {
+            self.stats.retransmits += 1;
+        }
     }
 
     /// Multiplicative jitter factor for `msg`, uniform in
@@ -492,9 +604,10 @@ impl Fabric {
     pub fn commit(&mut self, now: SimTime, msg: &NetMsg) -> SimTime {
         self.account(msg);
         let jitter = self.draw_jitter(msg);
-        self.topo
-            .admit(now, msg, jitter, u32::MAX)
-            .expect("commit() requires an open-loop topology; route sends through send()")
+        match self.topo.admit(now, msg, jitter, u32::MAX) {
+            Admit::Deliver(at) => at,
+            _ => panic!("commit() requires an open-loop topology; route sends through send()"),
+        }
     }
 
     /// Advance the topology to `now`, collect completed transfers into
@@ -522,6 +635,13 @@ pub trait NetHost: Sized + 'static {
 
     /// Called when a message is delivered at the destination node.
     fn on_net_deliver(&mut self, sim: &mut Sim<Self>, msg: NetMsg);
+
+    /// Called when the fabric *knows* a message died: its link went down
+    /// mid-flight or link failures left no route at admission. Silent
+    /// losses (stochastic drop/corrupt) do NOT land here — the sender
+    /// discovers those by ack timeout, as on a real wire. Default: the
+    /// loss is absorbed (a reliability layer overrides this).
+    fn on_net_dropped(&mut self, _sim: &mut Sim<Self>, _msg: NetMsg) {}
 }
 
 /// Send a message. Open-loop topologies price it immediately and one
@@ -533,19 +653,93 @@ pub fn send<W: NetHost>(w: &mut W, sim: &mut Sim<W>, msg: NetMsg) {
     let now = sim.now();
     let fabric = w.fabric_mut();
     fabric.account(&msg);
+    if msg.src != msg.dst && fabric.faults.lossy() {
+        // A dropped message never reaches the wire; a corrupted one pays
+        // full wire cost and is discarded at delivery (see `deliver`).
+        if let MsgFate::Drop =
+            fabric
+                .faults
+                .msg_fate(msg.src.0 as u64, msg.dst.0 as u64, msg.token, msg.attempt)
+        {
+            fabric.stats.drops += 1;
+            return;
+        }
+    }
     let jitter = fabric.draw_jitter(&msg);
     let idx = fabric.stash(msg);
     match fabric.topo.admit(now, &msg, jitter, idx) {
-        Some(at) => {
+        Admit::Deliver(at) => {
             sim.at_call1(at, deliver::<W>, idx as u64);
         }
-        None => reconcile_wakeup(w, sim),
+        Admit::Flow { failover } => {
+            if failover {
+                fabric.stats.failovers += 1;
+            }
+            reconcile_wakeup(w, sim);
+        }
+        Admit::NoRoute => {
+            fabric.stats.no_routes += 1;
+            let dead = fabric.unstash(idx);
+            w.on_net_dropped(sim, dead);
+        }
     }
 }
 
 fn deliver<W: NetHost>(w: &mut W, sim: &mut Sim<W>, idx: u64) {
-    let msg = w.fabric_mut().unstash(idx as u32);
+    let fabric = w.fabric_mut();
+    let msg = fabric.unstash(idx as u32);
+    if msg.src != msg.dst && fabric.faults.lossy() {
+        if let MsgFate::Corrupt =
+            fabric
+                .faults
+                .msg_fate(msg.src.0 as u64, msg.dst.0 as u64, msg.token, msg.attempt)
+        {
+            // Checksum failure at the receiver NIC: paid for the wire,
+            // delivered nothing. The sender recovers by ack timeout.
+            fabric.stats.corrupts += 1;
+            return;
+        }
+    }
     w.on_net_deliver(sim, msg);
+}
+
+/// Arm the fault plan's scheduled link faults on the event queue. Call
+/// once after [`Fabric::set_faults`]; each fault fires at its instant,
+/// flips the link state in the topology, and surfaces aborted in-flight
+/// messages through [`NetHost::on_net_dropped`].
+pub fn arm_link_faults<W: NetHost>(w: &mut W, sim: &mut Sim<W>) {
+    let fabric = w.fabric_mut();
+    for (i, lf) in fabric.faults.link_faults.iter().enumerate() {
+        sim.at_call1(lf.at, link_fault_fire::<W>, i as u64);
+    }
+}
+
+/// A scheduled link fault fires: apply it, abort crossing flows, surface
+/// the victims, and re-arm the fabric wakeup (rates changed).
+fn link_fault_fire<W: NetHost>(w: &mut W, sim: &mut Sim<W>, idx: u64) {
+    let now = sim.now();
+    let dead = {
+        let fabric = w.fabric_mut();
+        let lf = fabric.faults.link_faults[idx as usize];
+        fabric.stats.link_faults += 1;
+        let mut aborted = std::mem::take(&mut fabric.abort_buf);
+        aborted.clear();
+        fabric
+            .topo
+            .apply_link_fault(now, LinkId(lf.link), lf.kind, &mut aborted);
+        fabric.stats.flow_aborts += aborted.len() as u64;
+        let dead: Vec<NetMsg> = aborted
+            .iter()
+            .map(|&fl| fabric.unstash(fl as u32))
+            .collect();
+        aborted.clear();
+        fabric.abort_buf = aborted;
+        dead
+    };
+    for msg in dead {
+        w.on_net_dropped(sim, msg);
+    }
+    reconcile_wakeup(w, sim);
 }
 
 /// Keep exactly one pending tick event at the topology's next wakeup.
@@ -610,6 +804,7 @@ mod tests {
             extra_latency: SimDuration::ZERO,
             token: 0,
             class: TrafficClass::Data,
+            attempt: 0,
         }
     }
 
@@ -906,5 +1101,361 @@ mod tests {
             "link busy spans should land in the fabric tracer"
         );
         assert!(w.fabric.tracer.spans().iter().any(|s| s.label == "leaf-up"));
+    }
+
+    // ---- fault injection --------------------------------------------
+
+    use gaat_sim::{LinkFault, StragglerWindow};
+
+    /// A host that records both deliveries and surfaced drops.
+    struct FaultWorld {
+        fabric: Fabric,
+        got: Vec<(u64, SimTime)>,
+        dropped: Vec<(u64, SimTime)>,
+    }
+    impl NetHost for FaultWorld {
+        fn fabric_mut(&mut self) -> &mut Fabric {
+            &mut self.fabric
+        }
+        fn on_net_deliver(&mut self, sim: &mut Sim<Self>, msg: NetMsg) {
+            self.got.push((msg.token, sim.now()));
+        }
+        fn on_net_dropped(&mut self, sim: &mut Sim<Self>, msg: NetMsg) {
+            self.dropped.push((msg.token, sim.now()));
+        }
+    }
+
+    fn fault_run(fabric: Fabric, msgs: Vec<NetMsg>) -> (FaultWorld, Sim<FaultWorld>) {
+        let mut w = FaultWorld {
+            fabric,
+            got: vec![],
+            dropped: vec![],
+        };
+        let mut sim: Sim<FaultWorld> = Sim::new();
+        arm_link_faults(&mut w, &mut sim);
+        for m in msgs {
+            sim.soon(move |w: &mut FaultWorld, sim: &mut Sim<FaultWorld>| send(w, sim, m));
+        }
+        sim.run(&mut w);
+        (w, sim)
+    }
+
+    #[test]
+    fn lossy_plan_drops_some_messages_deterministically() {
+        let plan = FaultPlan {
+            seed: 42,
+            drop_prob: 0.25,
+            corrupt_prob: 0.05,
+            ..FaultPlan::none()
+        };
+        let run = || {
+            let mut f = fabric(2);
+            f.set_faults(plan.clone());
+            let msgs = (0..200u64)
+                .map(|i| {
+                    let mut m = msg(0, 1, 4096);
+                    m.token = i;
+                    m
+                })
+                .collect();
+            let (w, _) = fault_run(f, msgs);
+            (
+                w.got.clone(),
+                w.fabric.stats().drops,
+                w.fabric.stats().corrupts,
+            )
+        };
+        let (got_a, drops_a, corrupts_a) = run();
+        let (got_b, drops_b, corrupts_b) = run();
+        assert_eq!(got_a, got_b, "same plan must replay bit-identically");
+        assert_eq!((drops_a, corrupts_a), (drops_b, corrupts_b));
+        assert!(drops_a > 20, "~25% of 200 should drop: {drops_a}");
+        assert!(corrupts_a > 1, "~5% of 200 should corrupt: {corrupts_a}");
+        assert_eq!(
+            got_a.len() as u64 + drops_a + corrupts_a,
+            200,
+            "every message is delivered, dropped, or corrupted"
+        );
+    }
+
+    #[test]
+    fn corrupt_consumes_wire_but_drop_does_not() {
+        // A plan that corrupts everything still serializes each message
+        // through the NICs; a plan that drops everything leaves the NICs
+        // idle. Distinguish via the egress queueing seen by a later
+        // clean message — under drop-all the probe departs immediately.
+        let mk = |drop_prob: f64, corrupt_prob: f64| {
+            let mut f = fabric(2);
+            f.set_faults(FaultPlan {
+                seed: 1,
+                drop_prob,
+                corrupt_prob,
+                ..FaultPlan::none()
+            });
+            f
+        };
+        // drop_prob=1 ⇒ every attempt drops (unit hash < 1.0 always).
+        let msgs: Vec<NetMsg> = (0..4u64)
+            .map(|i| {
+                let mut m = msg(0, 1, 1 << 20);
+                m.token = i;
+                m
+            })
+            .collect();
+        let (w_drop, sim_drop) = fault_run(mk(1.0, 0.0), msgs.clone());
+        assert!(w_drop.got.is_empty());
+        assert_eq!(w_drop.fabric.stats().drops, 4);
+        assert_eq!(sim_drop.now(), SimTime::ZERO, "drops never touch the wire");
+
+        let (w_cor, sim_cor) = fault_run(mk(0.0, 1.0), msgs);
+        assert!(w_cor.got.is_empty());
+        assert_eq!(w_cor.fabric.stats().corrupts, 4);
+        assert!(
+            sim_cor.now().as_ns() > 0,
+            "corrupted messages pay wire time before being discarded"
+        );
+    }
+
+    #[test]
+    fn intra_node_messages_are_never_dropped() {
+        let mut f = fabric(2);
+        f.set_faults(FaultPlan {
+            seed: 3,
+            drop_prob: 1.0,
+            ..FaultPlan::none()
+        });
+        let msgs = (0..8u64)
+            .map(|i| {
+                let mut m = msg(0, 0, 4096);
+                m.token = i;
+                m
+            })
+            .collect();
+        let (w, _) = fault_run(f, msgs);
+        assert_eq!(w.got.len(), 8, "loopback traffic bypasses the wire");
+        assert_eq!(w.fabric.stats().drops, 0);
+    }
+
+    #[test]
+    fn retransmit_attempt_redraws_fate_and_is_counted() {
+        let plan = FaultPlan {
+            seed: 5,
+            drop_prob: 0.5,
+            ..FaultPlan::none()
+        };
+        // Find a token whose attempt 0 drops but attempt 1 delivers.
+        let token = (0..1000u64)
+            .find(|&t| {
+                plan.msg_fate(0, 1, t, 0) == MsgFate::Drop
+                    && plan.msg_fate(0, 1, t, 1) == MsgFate::Deliver
+            })
+            .expect("some token drops then delivers");
+        let mut f = fabric(2);
+        f.set_faults(plan);
+        let mut first = msg(0, 1, 4096);
+        first.token = token;
+        let mut retry = first;
+        retry.attempt = 1;
+        let (w, _) = fault_run(f, vec![first, retry]);
+        assert_eq!(w.got.len(), 1, "the retry gets through");
+        let s = w.fabric.stats();
+        assert_eq!(s.drops, 1);
+        assert_eq!(s.retransmits, 1);
+    }
+
+    #[test]
+    fn link_down_aborts_flows_and_fails_over() {
+        // Two leaves, two spines. Token 0 streams cross-leaf over the
+        // primary spine; mid-flight the primary's uplink dies. The flow
+        // aborts (surfaced via on_net_dropped), and a later message
+        // fails over to the alternate spine and is delivered.
+        let ft = FatTreeParams {
+            leaf_radix: 2,
+            spines: 2,
+            trunk_bw: 23.0e9,
+            hop_latency_ns: 0,
+        };
+        let nodes = 4;
+        let graph = FatTreeGraph::new(nodes, 60.0e9, 23.0e9, ft);
+        let mut route = Vec::new();
+        // dst=2 on leaf 1: primary spine = 2 % 2 = 0; route holds the
+        // src-leaf uplink to spine 0 at index 1 (after the NIC).
+        graph.try_route(0, 2, &mut route).unwrap();
+        let primary_uplink = route[1];
+
+        let mut fabric = ft_fabric(nodes, ft);
+        fabric.set_faults(FaultPlan {
+            link_faults: vec![LinkFault {
+                at: SimTime::ZERO + SimDuration::from_us(5),
+                link: primary_uplink.0,
+                kind: LinkFaultKind::Down,
+            }],
+            ..FaultPlan::none()
+        });
+        let mut w = FaultWorld {
+            fabric,
+            got: vec![],
+            dropped: vec![],
+        };
+        let mut sim: Sim<FaultWorld> = Sim::new();
+        arm_link_faults(&mut w, &mut sim);
+        // 1 MiB at 23 GB/s is ~45 us of wire: still in flight at t=5us.
+        let mut victim = msg(0, 2, 1 << 20);
+        victim.token = 7;
+        sim.soon(move |w: &mut FaultWorld, sim: &mut Sim<FaultWorld>| send(w, sim, victim));
+        // After the fault, a fresh message must fail over to spine 1.
+        sim.after(
+            SimDuration::from_us(10),
+            |w: &mut FaultWorld, sim: &mut Sim<FaultWorld>| {
+                let mut m = msg(0, 2, 1 << 16);
+                m.token = 8;
+                send(w, sim, m);
+            },
+        );
+        sim.run(&mut w);
+
+        assert_eq!(w.dropped.len(), 1, "in-flight flow surfaced as dropped");
+        assert_eq!(w.dropped[0].0, 7);
+        assert_eq!(w.dropped[0].1.as_ns(), 5_000, "aborted at the fault time");
+        assert_eq!(w.got.len(), 1, "failover message delivered");
+        assert_eq!(w.got[0].0, 8);
+        let s = w.fabric.stats();
+        assert_eq!(s.link_faults, 1);
+        assert_eq!(s.flow_aborts, 1);
+        assert_eq!(s.failovers, 1);
+        assert_eq!(s.no_routes, 0);
+    }
+
+    #[test]
+    fn no_route_surfaces_message_as_dropped() {
+        let ft = FatTreeParams {
+            leaf_radix: 2,
+            spines: 1,
+            ..FatTreeParams::default()
+        };
+        let nodes = 4;
+        let mut fabric = ft_fabric(nodes, ft);
+        // Kill the destination's NIC ejection port before any traffic.
+        fabric.set_faults(FaultPlan {
+            link_faults: vec![LinkFault {
+                at: SimTime::ZERO,
+                link: (2 * nodes + 3) as u32, // NIC down-port of node 3
+                kind: LinkFaultKind::Down,
+            }],
+            ..FaultPlan::none()
+        });
+        let mut m = msg(0, 3, 4096);
+        m.token = 11;
+        let (w, _) = fault_run(fabric, vec![m]);
+        assert!(w.got.is_empty());
+        assert_eq!(w.dropped.len(), 1);
+        assert_eq!(w.fabric.stats().no_routes, 1);
+    }
+
+    #[test]
+    fn degrade_then_up_restores_bandwidth() {
+        // One cross-leaf stream; halfway through, the trunk is degraded
+        // to 10% and later restored. Delivery lands strictly later than
+        // the unfaulted run but the run still completes.
+        let ft = FatTreeParams {
+            leaf_radix: 2,
+            spines: 1,
+            trunk_bw: 23.0e9,
+            hop_latency_ns: 0,
+        };
+        let nodes = 4;
+        let graph = FatTreeGraph::new(nodes, 60.0e9, 23.0e9, ft);
+        let mut route = Vec::new();
+        graph.try_route(0, 2, &mut route).unwrap();
+        let trunk = route[1];
+
+        let base = {
+            let mut m = msg(0, 2, 1 << 20);
+            m.token = 1;
+            let (w, _) = fault_run(ft_fabric(nodes, ft), vec![m]);
+            w.got[0].1
+        };
+        let mut fabric = ft_fabric(nodes, ft);
+        fabric.set_faults(FaultPlan {
+            link_faults: vec![
+                LinkFault {
+                    at: SimTime::ZERO + SimDuration::from_us(10),
+                    link: trunk.0,
+                    kind: LinkFaultKind::Degrade(0.1),
+                },
+                LinkFault {
+                    at: SimTime::ZERO + SimDuration::from_us(20),
+                    link: trunk.0,
+                    kind: LinkFaultKind::Up,
+                },
+            ],
+            ..FaultPlan::none()
+        });
+        let mut m = msg(0, 2, 1 << 20);
+        m.token = 1;
+        let (w, _) = fault_run(fabric, vec![m]);
+        assert_eq!(w.got.len(), 1, "degraded flow still completes");
+        let slowed = w.got[0].1;
+        // The 10 us window at 10% speed carries only 1 us worth of
+        // bytes, so delivery slips by exactly 9 us.
+        assert_eq!(
+            slowed.as_ns(),
+            (base + SimDuration::from_us(9)).as_ns(),
+            "degradation window must cost exactly its lost wire time"
+        );
+        assert_eq!(w.fabric.stats().link_faults, 2);
+        assert_eq!(w.fabric.stats().flow_aborts, 0);
+    }
+
+    #[test]
+    fn inert_plan_leaves_fat_tree_schedule_bit_identical() {
+        // Installing FaultPlan::none() (and arming zero link faults)
+        // must not move any delivery by a nanosecond.
+        let ft = FatTreeParams {
+            leaf_radix: 2,
+            spines: 2,
+            ..FatTreeParams::default()
+        };
+        let run = |with_plan: bool| {
+            let mut fabric = ft_fabric(4, ft);
+            if with_plan {
+                fabric.set_faults(FaultPlan::none());
+            }
+            let mut msgs = Vec::new();
+            for i in 0..12u64 {
+                let mut m = msg((i % 4) as usize, ((i * 3 + 1) % 4) as usize, 1 << 16);
+                m.token = i;
+                msgs.push(m);
+            }
+            let (w, sim) = fault_run(fabric, msgs);
+            (w.got.clone(), sim.now())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn straggler_plan_does_not_touch_the_fabric() {
+        // Straggler windows are a device-model concern; the fabric must
+        // not consult them on the message path.
+        let mut f = fabric(2);
+        f.set_faults(FaultPlan {
+            stragglers: vec![StragglerWindow {
+                device: 0,
+                from: SimTime::ZERO,
+                until: SimTime::ZERO + SimDuration::from_ms(10),
+                slowdown: 4.0,
+            }],
+            ..FaultPlan::none()
+        });
+        let msgs = (0..4u64)
+            .map(|i| {
+                let mut m = msg(0, 1, 4096);
+                m.token = i;
+                m
+            })
+            .collect();
+        let (w, _) = fault_run(f, msgs);
+        assert_eq!(w.got.len(), 4);
+        assert_eq!(w.fabric.stats().drops, 0);
     }
 }

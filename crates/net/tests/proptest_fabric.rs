@@ -35,6 +35,7 @@ proptest! {
                 extra_latency: SimDuration::ZERO,
                 token: 0,
                 class: TrafficClass::Data,
+                attempt: 0,
             };
             let delivered = f.commit(now, &m);
             let floor = now + params.inter_latency + params.inter_ser(bytes);
@@ -63,6 +64,7 @@ proptest! {
                 extra_latency: SimDuration::ZERO,
                 token: 0,
                 class: TrafficClass::Data,
+                attempt: 0,
             };
             last = last.max(f.commit(SimTime::ZERO, &m));
         }
@@ -88,6 +90,7 @@ proptest! {
             extra_latency: SimDuration::ZERO,
             token: 0,
             class: TrafficClass::Data,
+            attempt: 0,
         };
         let t_quiet = quiet.commit(SimTime::ZERO, &probe);
 
@@ -100,6 +103,7 @@ proptest! {
                 extra_latency: SimDuration::ZERO,
                 token: 0,
                 class: TrafficClass::Data,
+                attempt: 0,
             };
             busy.commit(SimTime::ZERO, &m);
         }
@@ -126,6 +130,7 @@ proptest! {
                 extra_latency: SimDuration::ZERO,
                 token: i as u64,
                 class: TrafficClass::Data,
+                attempt: 0,
             };
             let d = f.commit(SimTime::from_ns(at), &m);
             prop_assert!(

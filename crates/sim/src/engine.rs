@@ -181,6 +181,9 @@ pub struct Sim<W> {
     /// Live (scheduled, not yet fired or cancelled) event count.
     live: usize,
     peak_pending: usize,
+    /// True once a run fully drained the queue and nothing has been
+    /// scheduled since; gates the teardown leak audit.
+    drained: bool,
 
     // Slab arena.
     slots: Vec<Slot<W>>,
@@ -219,6 +222,7 @@ impl<W> Sim<W> {
             event_limit: u64::MAX,
             live: 0,
             peak_pending: 0,
+            drained: false,
             slots: Vec::new(),
             free_head: NO_SLOT,
             ring: VecDeque::new(),
@@ -304,6 +308,7 @@ impl<W> Sim<W> {
     // ----- scheduling -----
 
     fn schedule(&mut self, at: SimTime, kind: EventKind<W>) -> EventId {
+        self.drained = false;
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -596,6 +601,7 @@ impl<W> Sim<W> {
                 return RunOutcome::EventLimit;
             }
             if !self.step(world) {
+                self.drained = true;
                 return RunOutcome::Drained;
             }
         }
@@ -615,7 +621,10 @@ impl<W> Sim<W> {
                 return RunOutcome::EventLimit;
             }
             match self.peek_time() {
-                None => return RunOutcome::Drained,
+                None => {
+                    self.drained = true;
+                    return RunOutcome::Drained;
+                }
                 Some(t) if t > deadline => {
                     self.now = self.now.max(deadline.min(t));
                     return RunOutcome::Drained;
@@ -625,6 +634,29 @@ impl<W> Sim<W> {
                 }
             }
         }
+    }
+
+    // ----- teardown audit -----
+
+    /// True when the last `run`/`run_until` drained the queue completely
+    /// and nothing has been scheduled since.
+    #[inline]
+    pub fn quiesced(&self) -> bool {
+        self.drained
+    }
+
+    /// Audit the slab arena: the number of slots still holding an event
+    /// payload (live, or cancelled but not yet reclaimed). A fully
+    /// drained run leaves zero — cancelled entries are reclaimed as the
+    /// queue reaches their instant — so a nonzero count after quiesce
+    /// means an event leaked (e.g. a retry layer re-arming a wakeup it
+    /// believed cancelled). Debug builds run this check automatically
+    /// when the `Sim` is dropped after quiesce.
+    pub fn leak_check(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| !matches!(s.kind, EventKind::Vacant))
+            .count()
     }
 
     /// Timestamp of the next live (non-cancelled) pending event.
@@ -665,6 +697,30 @@ impl<W> Sim<W> {
                 }
             }
             return Some(t);
+        }
+    }
+}
+
+impl<W> Drop for Sim<W> {
+    fn drop(&mut self) {
+        // Event-leak audit: a simulator dropped after quiescing must hold
+        // no event payloads. Debug builds only, and never while unwinding
+        // (the leak is then a symptom, not the bug).
+        #[cfg(debug_assertions)]
+        {
+            if self.drained && !std::thread::panicking() {
+                let leaked = self.leak_check();
+                assert_eq!(
+                    leaked, 0,
+                    "event-leak audit: {leaked} slab slot(s) still occupied after quiesce \
+                     (live counter = {})",
+                    self.live
+                );
+                assert_eq!(
+                    self.live, 0,
+                    "event-leak audit: live counter nonzero after quiesce with empty slab"
+                );
+            }
         }
     }
 }
@@ -914,5 +970,39 @@ mod tests {
         sim.run(&mut w);
         assert_eq!(w, vec![1]);
         assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn leak_audit_clean_after_drain() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        let horizon = (BUCKETS as u64) << BUCKET_SHIFT;
+        let a = sim.after(d(5), |_: &mut World, _| {});
+        let b = sim.at(SimTime::from_ns(2 * horizon), |_: &mut World, _| {});
+        sim.after(d(7), |w: &mut World, _| w.push(1));
+        sim.cancel(a);
+        sim.cancel(b);
+        assert!(!sim.quiesced());
+        assert_eq!(sim.run(&mut w), RunOutcome::Drained);
+        assert!(sim.quiesced());
+        assert_eq!(sim.leak_check(), 0, "drained run must reclaim all slots");
+        // Scheduling again un-quiesces.
+        sim.after(d(1), |_: &mut World, _| {});
+        assert!(!sim.quiesced());
+        assert!(sim.leak_check() > 0);
+        sim.run(&mut w);
+        assert!(sim.quiesced());
+    }
+
+    #[test]
+    fn leak_audit_ignores_mid_run_drop() {
+        // Dropping with events still pending is legal (run_until, early
+        // teardown): the audit only arms after a true quiesce.
+        let mut sim: Sim<World> = Sim::new();
+        sim.after(d(5), |_: &mut World, _| {});
+        let mut w = Vec::new();
+        sim.run_until(&mut w, SimTime::from_ns(1));
+        assert!(!sim.quiesced());
+        drop(sim);
     }
 }

@@ -23,12 +23,14 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use engine::{EventFn, EventId, RunOutcome, Sim};
+pub use fault::{FaultPlan, LinkFault, LinkFaultKind, MsgFate, PeFault, StragglerWindow};
 pub use rng::{mix64, SimRng};
 pub use stats::{Accumulator, BusyTracker, IterationTimer, LogHistogram};
 pub use time::{SimDuration, SimTime};

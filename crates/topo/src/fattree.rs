@@ -52,6 +52,18 @@ pub struct FatTreeGraph {
     nodes: usize,
     params: FatTreeParams,
     links: Vec<LinkDesc>,
+    /// Administrative state per link; a down link carries no routes.
+    link_up: Vec<bool>,
+}
+
+/// Result of a successful route computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteInfo {
+    /// Switch hops traversed (for latency accounting).
+    pub hops: u32,
+    /// True if the primary D-mod-k spine was down and an alternate
+    /// spine carried the route.
+    pub failover: bool,
 }
 
 impl FatTreeGraph {
@@ -90,10 +102,12 @@ impl FatTreeGraph {
                 });
             }
         }
+        let n = links.len();
         FatTreeGraph {
             nodes,
             params,
             links,
+            link_up: vec![true; n],
         }
     }
 
@@ -118,26 +132,93 @@ impl FatTreeGraph {
         LinkId((3 * self.nodes + 2 * (leaf * self.params.spines + spine) + 1) as u32)
     }
 
-    /// Write the static route from `src` to `dst` into `out` and return
-    /// the number of switch hops traversed (for latency accounting).
-    pub fn route(&self, src: usize, dst: usize, out: &mut Vec<LinkId>) -> u32 {
+    /// Mark a link up or down. Down links carry no new routes; the
+    /// caller aborts flows already crossing the link (see
+    /// `FlowSim::abort_link`).
+    pub fn set_link_state(&mut self, link: LinkId, up: bool) {
+        self.link_up[link.0 as usize] = up;
+    }
+
+    /// Administrative state of a link.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.link_up[link.0 as usize]
+    }
+
+    #[inline]
+    fn up(&self, l: LinkId) -> bool {
+        self.link_up[l.0 as usize]
+    }
+
+    /// Write the static route from `src` to `dst` into `out`, skipping
+    /// down links where an alternate exists. Cross-leaf traffic prefers
+    /// the D-mod-k spine `dst % spines`; if either trunk of that spine
+    /// pair is down, the first higher spine (mod `spines`) with both
+    /// trunks up carries the route instead — a deterministic scan, so a
+    /// given link-state always produces the same failover. Returns
+    /// `None` when no path exists (an endpoint NIC or NVLink is down,
+    /// or every spine pair between the leaves is broken).
+    pub fn try_route(&self, src: usize, dst: usize, out: &mut Vec<LinkId>) -> Option<RouteInfo> {
         debug_assert!(src < self.nodes && dst < self.nodes);
         out.clear();
         if src == dst {
-            out.push(LinkId(src as u32));
-            return 0;
+            let l = LinkId(src as u32);
+            if !self.up(l) {
+                return None;
+            }
+            out.push(l);
+            return Some(RouteInfo {
+                hops: 0,
+                failover: false,
+            });
         }
-        out.push(LinkId((self.nodes + src) as u32));
+        let nic_up = LinkId((self.nodes + src) as u32);
+        let nic_down = LinkId((2 * self.nodes + dst) as u32);
+        if !self.up(nic_up) || !self.up(nic_down) {
+            return None;
+        }
+        out.push(nic_up);
         let (src_leaf, dst_leaf) = (self.leaf_of(src), self.leaf_of(dst));
-        let hops = if src_leaf == dst_leaf {
-            1 // one leaf switch
+        let info = if src_leaf == dst_leaf {
+            RouteInfo {
+                hops: 1, // one leaf switch
+                failover: false,
+            }
         } else {
-            let spine = dst % self.params.spines;
+            let spines = self.params.spines;
+            let primary = dst % spines;
+            let mut chosen = None;
+            for k in 0..spines {
+                let s = (primary + k) % spines;
+                if self.up(self.trunk_up(src_leaf, s)) && self.up(self.trunk_down(dst_leaf, s)) {
+                    chosen = Some((s, k > 0));
+                    break;
+                }
+            }
+            let (spine, failover) = match chosen {
+                Some(c) => c,
+                None => {
+                    out.clear();
+                    return None;
+                }
+            };
             out.push(self.trunk_up(src_leaf, spine));
             out.push(self.trunk_down(dst_leaf, spine));
-            3 // leaf, spine, leaf
+            RouteInfo {
+                hops: 3, // leaf, spine, leaf
+                failover,
+            }
         };
-        out.push(LinkId((2 * self.nodes + dst) as u32));
-        hops
+        out.push(nic_down);
+        Some(info)
+    }
+
+    /// Write the static route from `src` to `dst` into `out` and return
+    /// the number of switch hops traversed (for latency accounting).
+    /// Panics if link failures have disconnected the pair; fallible
+    /// callers use [`FatTreeGraph::try_route`].
+    pub fn route(&self, src: usize, dst: usize, out: &mut Vec<LinkId>) -> u32 {
+        self.try_route(src, dst, out)
+            .unwrap_or_else(|| panic!("no route from node {src} to node {dst}"))
+            .hops
     }
 }

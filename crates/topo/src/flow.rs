@@ -479,6 +479,99 @@ impl FlowSim {
         self.pending = true;
     }
 
+    /// Change a link's capacity in place (degradation / repair). Flows
+    /// are drained to `now` at their old rates first — progress already
+    /// made is not re-priced — then the link is seeded dirty so every
+    /// flow (transitively) sharing it is re-water-filled at the next
+    /// query; flows elsewhere keep their rates bit-exactly.
+    pub fn set_link_bw(&mut self, now: SimTime, link: LinkId, bw: f64) {
+        assert!(bw > 0.0, "link capacity must stay positive; abort instead");
+        if self.pending && now > self.settled_at {
+            self.flush();
+        }
+        self.settle(now);
+        let l = link.0 as usize;
+        self.lmeta[l].desc.bw = bw;
+        self.lcap[l] = bw / 1e9;
+        // The dense-fill share cache keys on occupancy only; capacity
+        // changed, so force a recompute of this link's cached quotient.
+        self.init_u[l] = 0;
+        self.seed.push(link.0);
+        self.pending = true;
+    }
+
+    /// Abort every in-flight flow crossing `link` (the link failed).
+    /// Tokens of the killed flows are pushed onto `aborted` in admission
+    /// order; bytes carried before the failure stay attributed to their
+    /// links. The caller decides what an abort means (retry, surface an
+    /// error) — the flow simulation just releases the resources and
+    /// marks the affected components dirty.
+    pub fn abort_link(&mut self, now: SimTime, link: LinkId, aborted: &mut Vec<u64>) {
+        if self.pending && now > self.settled_at {
+            self.flush();
+        }
+        self.settle(now);
+        let l0 = link.0 as usize;
+        if self.lflows[l0].is_empty() {
+            return;
+        }
+        // Victims in admission order (lflows is unordered).
+        let mut victims: Vec<u32> = self.lflows[l0].clone();
+        victims.sort_unstable_by_key(|&f| self.lpos[f as usize]);
+        for &idx in &victims {
+            let i = idx as usize;
+            aborted.push(self.token[i]);
+            self.alive[i] = false;
+            let carried = (self.total[i] - self.rem_live[self.lpos[i] as usize]).max(0.0);
+            for k in 0..self.route_len[i] as usize {
+                let l = self.route_arena[i * self.stride + k] as usize;
+                self.lactive[l] -= 1;
+                let pos = self.lflows[l]
+                    .iter()
+                    .position(|&f| f == idx)
+                    .expect("aborting flow is on its links' member lists");
+                self.lflows[l].swap_remove(pos);
+                self.seed.push(l as u32);
+                let m = &mut self.lmeta[l];
+                m.bytes += carried;
+                if self.lactive[l] == 0 {
+                    m.busy_ns += now.since(m.busy_since).as_ns();
+                    if self.record_spans && now > m.busy_since {
+                        self.closed.push(BusySpan {
+                            link: LinkId(l as u32),
+                            kind: m.desc.kind,
+                            start: m.busy_since,
+                            end: now,
+                        });
+                    }
+                }
+            }
+            self.free.push(idx);
+        }
+        // Stable compaction of the live list and its mirrors, exactly
+        // like the completion pass, so surviving flows keep admission
+        // order.
+        let n = self.live.len();
+        let mut w = 0usize;
+        for j in 0..n {
+            let idx = self.live[j];
+            if !self.alive[idx as usize] {
+                continue;
+            }
+            self.live[w] = idx;
+            self.rem_live[w] = self.rem_live[j];
+            self.rate_live[w] = self.rate_live[j];
+            self.eta_live[w] = self.eta_live[j];
+            self.lpos[idx as usize] = w as u32;
+            w += 1;
+        }
+        self.live.truncate(w);
+        self.rem_live.truncate(w);
+        self.rate_live.truncate(w);
+        self.eta_live.truncate(w);
+        self.pending = true;
+    }
+
     /// Move accumulated busy intervals out (for tracer lanes).
     pub fn drain_spans(&mut self, out: &mut Vec<BusySpan>) {
         out.append(&mut self.closed);

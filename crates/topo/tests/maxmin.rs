@@ -215,3 +215,147 @@ fn fat_tree_routes_are_static_and_leveled() {
     g.route(0, 5, &mut again);
     assert_eq!(route, again);
 }
+
+#[test]
+fn failover_picks_alternate_spine_deterministically() {
+    let params = FatTreeParams {
+        leaf_radix: 2,
+        spines: 2,
+        trunk_bw: 24.0e9,
+        hop_latency_ns: 150,
+    };
+    let mut g = FatTreeGraph::new(6, 60.0e9, 23.0e9, params);
+    let mut primary = Vec::new();
+    let info = g.try_route(0, 5, &mut primary).expect("healthy route");
+    assert!(!info.failover);
+
+    // Kill the primary spine's uplink trunk: the route must move to the
+    // other spine and report the failover.
+    g.set_link_state(primary[1], false);
+    assert!(!g.link_is_up(primary[1]));
+    let mut alt = Vec::new();
+    let info = g.try_route(0, 5, &mut alt).expect("alternate spine");
+    assert!(info.failover);
+    assert_eq!(info.hops, 3);
+    assert_ne!(alt[1], primary[1]);
+    // Deterministic: repeated queries under the same link state agree.
+    let mut again = Vec::new();
+    assert_eq!(g.try_route(0, 5, &mut again), Some(info));
+    assert_eq!(alt, again);
+
+    // Restore: the primary spine wins again.
+    g.set_link_state(primary[1], true);
+    let mut back = Vec::new();
+    let info = g.try_route(0, 5, &mut back).expect("restored");
+    assert!(!info.failover);
+    assert_eq!(back, primary);
+}
+
+#[test]
+fn no_route_when_nic_or_all_spines_down() {
+    let params = FatTreeParams {
+        leaf_radix: 2,
+        spines: 2,
+        trunk_bw: 24.0e9,
+        hop_latency_ns: 150,
+    };
+    let mut g = FatTreeGraph::new(6, 60.0e9, 23.0e9, params);
+    let mut buf = Vec::new();
+    // Down the destination NIC ejection port: unreachable.
+    g.route(0, 5, &mut buf);
+    let nic_down = *buf.last().unwrap();
+    g.set_link_state(nic_down, false);
+    assert_eq!(g.try_route(0, 5, &mut buf), None);
+    g.set_link_state(nic_down, true);
+
+    // Down both spine pairs between leaf 0 and leaf 2.
+    let mut r = Vec::new();
+    g.try_route(0, 5, &mut r).unwrap();
+    g.set_link_state(r[1], false);
+    g.try_route(0, 5, &mut r).unwrap();
+    g.set_link_state(r[1], false);
+    assert_eq!(g.try_route(0, 5, &mut r), None);
+    // Intra-leaf traffic is unaffected by trunk failures.
+    assert!(g.try_route(0, 1, &mut r).is_some());
+}
+
+#[test]
+fn abort_link_kills_crossing_flows_and_respects_survivors() {
+    // link 0 shared; link 1 only used by flow 2.
+    let mut fs = FlowSim::new(vec![
+        LinkDesc {
+            kind: LinkKind::LeafUp,
+            bw: 2.0e9,
+        },
+        LinkDesc {
+            kind: LinkKind::LeafUp,
+            bw: 2.0e9,
+        },
+    ]);
+    fs.start(t(0), &[LinkId(0)], 1000.0, 1);
+    fs.start(t(0), &[LinkId(0)], 1000.0, 2);
+    fs.start(t(0), &[LinkId(1)], 1000.0, 3);
+    assert_eq!(fs.next_wakeup(), Some(t(500)));
+    // At t=250, link 0 fails: flows 1 and 2 abort in admission order.
+    let mut aborted = Vec::new();
+    fs.abort_link(t(250), LinkId(0), &mut aborted);
+    assert_eq!(aborted, vec![1, 2]);
+    assert_eq!(fs.active_flows(), 1);
+    // Flow 3 had the full link all along: unchanged ETA.
+    assert_eq!(fs.next_wakeup(), Some(t(500)));
+    let mut done = Vec::new();
+    fs.advance(t(500), &mut done);
+    assert_eq!(done, vec![3]);
+    // Carried bytes before the abort stay attributed: 250 ns at
+    // 1 byte/ns each = 250 bytes per aborted flow.
+    let report = fs.link_report(t(500));
+    assert!((report[0].bytes - 500.0).abs() < 1e-6);
+}
+
+#[test]
+fn abort_link_frees_bandwidth_for_survivors() {
+    let mut fs = one_link(2.0e9);
+    fs.start(t(0), &[LinkId(0)], 1000.0, 1);
+    let mut fs2 = FlowSim::new(vec![
+        LinkDesc {
+            kind: LinkKind::LeafUp,
+            bw: 2.0e9,
+        },
+        LinkDesc {
+            kind: LinkKind::NicUp,
+            bw: 2.0e9,
+        },
+    ]);
+    // Flow 1 crosses both links, flow 2 only link 0. Killing link 1
+    // aborts flow 1 and flow 2 doubles its rate.
+    fs2.start(t(0), &[LinkId(0), LinkId(1)], 1000.0, 1);
+    fs2.start(t(0), &[LinkId(0)], 1000.0, 2);
+    assert_eq!(fs2.next_wakeup(), Some(t(1000)));
+    let mut aborted = Vec::new();
+    fs2.abort_link(t(500), LinkId(1), &mut aborted);
+    assert_eq!(aborted, vec![1]);
+    // Flow 2 has 500 bytes left at 2 bytes/ns -> done at t=750.
+    assert_eq!(fs2.next_wakeup(), Some(t(750)));
+    let mut done = Vec::new();
+    fs2.advance(t(750), &mut done);
+    assert_eq!(done, vec![2]);
+    drop(fs);
+}
+
+#[test]
+fn set_link_bw_degrades_and_restores() {
+    let mut fs = one_link(2.0e9);
+    fs.start(t(0), &[LinkId(0)], 1000.0, 1);
+    assert_eq!(fs.next_wakeup(), Some(t(500)));
+    // Halve the capacity at t=250: the flow is settled to t=250 at its
+    // old rate internally (no advance needed), leaving 500 bytes at
+    // 1 byte/ns.
+    fs.set_link_bw(t(250), LinkId(0), 1.0e9);
+    assert_eq!(fs.next_wakeup(), Some(t(750)));
+    // Restore at t=500: 250 bytes left at 2 bytes/ns.
+    fs.set_link_bw(t(500), LinkId(0), 2.0e9);
+    assert_eq!(fs.next_wakeup(), Some(t(625)));
+    let mut done = Vec::new();
+    fs.advance(t(625), &mut done);
+    assert_eq!(done, vec![1]);
+}

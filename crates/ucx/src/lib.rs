@@ -26,11 +26,16 @@
 
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use gaat_gpu::{BufRange, CompletionTag, DeviceId, GpuHost, Op, Space, StreamId};
 use gaat_net::{NetHost, NetMsg, NodeId, TrafficClass};
-use gaat_sim::{Sim, SimDuration};
+use gaat_sim::{EventId, FaultPlan, Sim, SimDuration};
+
+/// Reserved token bit marking a delivery acknowledgement. Ack messages
+/// carry `original_token | ACK_BIT` and no protocol state of their own,
+/// so a lost ack leaks nothing — the sender's timeout recovers it.
+const ACK_BIT: u64 = 1 << 63;
 
 /// A communication endpoint — one per PE/process (and therefore one per
 /// GPU in the paper's configuration).
@@ -51,6 +56,44 @@ pub struct MemLoc {
     pub device: DeviceId,
     /// The element range.
     pub range: BufRange,
+}
+
+/// Calibration of the delivery-reliability protocol (per-message acks,
+/// timeout-driven retransmission with exponential backoff, duplicate
+/// suppression, bounded-retry peer-death escalation).
+///
+/// Disabled by default: the fault-free model is lossless, and keeping
+/// the ack traffic off the wire preserves bit-identical schedules with
+/// builds that predate fault injection. Enable it alongside a lossy
+/// [`gaat_sim::FaultPlan`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ReliabilityParams {
+    /// Master switch; off = fire-and-forget (the seed behaviour).
+    pub enabled: bool,
+    /// Time from transmission to the first retransmission if no ack
+    /// arrives. Must exceed the worst-case round trip or spurious
+    /// (duplicate-suppressed) retransmits burn bandwidth.
+    pub ack_timeout: SimDuration,
+    /// Timeout multiplier per successive attempt (exponential backoff).
+    pub backoff_mult: f64,
+    /// Retransmissions before the peer is declared dead and
+    /// [`UcxEvent::PeerDead`] fires.
+    pub max_retries: u32,
+    /// Wire size of one ack message.
+    pub ack_bytes: u64,
+}
+
+impl Default for ReliabilityParams {
+    fn default() -> Self {
+        ReliabilityParams {
+            enabled: false,
+            ack_timeout: SimDuration::from_us(500),
+            backoff_mult: 2.0,
+            max_retries: 8,
+            ack_bytes: 32,
+        }
+    }
 }
 
 /// Protocol calibration constants.
@@ -83,6 +126,8 @@ pub struct UcxParams {
     pub pipeline_bw_derate: f64,
     /// Priority class used for staging DMA operations.
     pub staging_priority: usize,
+    /// Delivery-reliability protocol (off by default).
+    pub reliability: ReliabilityParams,
 }
 
 impl Default for UcxParams {
@@ -97,6 +142,7 @@ impl Default for UcxParams {
             gpudirect_bw_derate: 1.15,
             pipeline_bw_derate: 1.5,
             staging_priority: 2,
+            reliability: ReliabilityParams::default(),
         }
     }
 }
@@ -125,6 +171,14 @@ pub enum UcxEvent {
         /// User cookie passed to [`am_send`].
         user: u64,
     },
+    /// Retransmissions to a worker exhausted
+    /// [`ReliabilityParams::max_retries`] without an ack: the peer is
+    /// presumed dead. The runtime decides what that means (trigger
+    /// recovery, abort, ignore).
+    PeerDead {
+        /// The unresponsive worker.
+        worker: WorkerId,
+    },
 }
 
 /// World-side requirements for hosting the communication layer.
@@ -138,6 +192,12 @@ pub trait UcxHost: GpuHost + NetHost {
     /// Allocate a GPU completion tag that the world will route back to
     /// [`on_gpu_tag`] with the given cookie.
     fn alloc_gpu_tag(&mut self, cookie: u64) -> CompletionTag;
+    /// Whether the runtime still considers a worker alive. Dead workers
+    /// stop the retry machinery without a `PeerDead` escalation (the
+    /// runtime already knows). Default: everyone lives.
+    fn worker_alive(&self, _w: WorkerId) -> bool {
+        true
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,6 +264,19 @@ struct WorkerEp {
     unexpected: Vec<UnexpectedArrival>,
 }
 
+/// Sender-side state of one unacknowledged message.
+#[derive(Debug, Clone, Copy)]
+struct RetryState {
+    /// The message as last transmitted (`attempt` tracks retries).
+    msg: NetMsg,
+    /// Destination worker, for liveness checks and escalation.
+    to: WorkerId,
+    /// Retransmissions performed so far.
+    attempts: u32,
+    /// The pending timeout event (cancelled on ack).
+    timer: EventId,
+}
+
 /// Counters of protocol activity.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct UcxStats {
@@ -219,6 +292,23 @@ pub struct UcxStats {
     pub chunks: u64,
     /// Active messages.
     pub active_messages: u64,
+    /// Messages retransmitted (timeout- or abort-triggered).
+    pub retransmits: u64,
+    /// Ack timeouts that fired (subset of retransmit causes).
+    pub timeouts: u64,
+    /// Acks sent by receivers.
+    pub acks_sent: u64,
+    /// Acks received by senders (retry state retired).
+    pub acks_received: u64,
+    /// Duplicate deliveries suppressed (a retransmit of an already
+    /// processed message, caused by a lost ack).
+    pub duplicates: u64,
+    /// Workers declared dead after exhausting retries.
+    pub peers_dead: u64,
+    /// Deliveries for tokens with no live protocol state (e.g. a copy
+    /// that outlived its transfer's escalation); dropped, fault runs
+    /// only.
+    pub stale_tokens: u64,
 }
 
 /// Protocol state of the whole machine (all workers share one instance).
@@ -233,6 +323,11 @@ pub struct UcxState {
     comm_streams: HashMap<DeviceId, StreamId>,
     bounce_bufs: HashMap<DeviceId, gaat_gpu::BufferId>,
     stats: UcxStats,
+    /// Sender-side unacknowledged messages, by token (reliability on).
+    retry: HashMap<u64, RetryState>,
+    /// Receiver-side tokens already processed, for duplicate
+    /// suppression (reliability on).
+    delivered: HashSet<u64>,
 }
 
 impl UcxState {
@@ -248,6 +343,8 @@ impl UcxState {
             comm_streams: HashMap::new(),
             bounce_bufs: HashMap::new(),
             stats: UcxStats::default(),
+            retry: HashMap::new(),
+            delivered: HashSet::new(),
         }
     }
 
@@ -276,6 +373,34 @@ impl UcxState {
     /// Number of in-flight transfers (diagnostics; zero when quiescent).
     pub fn in_flight(&self) -> usize {
         self.transfers.len()
+    }
+
+    /// Protocol state stashed outside the transfer table: pending net
+    /// tokens, staging-tag cookies, and unacknowledged retries. Zero at
+    /// quiescence (the delivered-token history is bookkeeping, not
+    /// in-flight state).
+    pub fn stashed(&self) -> usize {
+        self.net_events.len() + self.gpu_tags.len() + self.retry.len()
+    }
+
+    /// Drop every piece of in-flight protocol state: transfers, pending
+    /// net/gpu token maps, retry entries, duplicate-suppression history,
+    /// and all posted/unexpected queues. Returns the retry timer events
+    /// for the caller to cancel — the runtime uses this when recovering
+    /// from a PE failure, where message state referring to the old
+    /// incarnation must not resurrect.
+    pub fn purge(&mut self) -> Vec<EventId> {
+        let timers = self.retry.values().map(|r| r.timer).collect();
+        self.transfers.clear();
+        self.net_events.clear();
+        self.gpu_tags.clear();
+        self.retry.clear();
+        self.delivered.clear();
+        for ep in &mut self.workers {
+            ep.posted.clear();
+            ep.unexpected.clear();
+        }
+        timers
     }
 }
 
@@ -319,6 +444,132 @@ fn staging_stream<W: UcxHost>(w: &mut W, dev: DeviceId) -> (StreamId, gaat_gpu::
     (s, b)
 }
 
+/// The retransmission timeout for `attempt` of `token`: exponential
+/// backoff times a deterministic per-(token, attempt) jitter factor in
+/// `[1, 2)` so synchronized losses don't retransmit in lockstep.
+fn retry_timeout(rel: &ReliabilityParams, seed: u64, token: u64, attempt: u32) -> SimDuration {
+    let backoff = rel.backoff_mult.max(1.0).powi(attempt as i32);
+    rel.ack_timeout
+        .mul_f64(backoff * FaultPlan::backoff_jitter(seed, token, attempt))
+}
+
+/// Transmit a protocol message, registering it with the retry machinery
+/// when reliability is enabled. `to` is the worker the message lands at
+/// (for liveness checks and peer-death escalation).
+fn rsend<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, to: WorkerId, msg: NetMsg) {
+    let rel = w.ucx_mut().params.reliability.clone();
+    if rel.enabled {
+        let seed = w.fabric_mut().faults().seed;
+        let timer = sim.after_call1(
+            retry_timeout(&rel, seed, msg.token, 0),
+            retry_timer_fire::<W>,
+            msg.token,
+        );
+        w.ucx_mut().retry.insert(
+            msg.token,
+            RetryState {
+                msg,
+                to,
+                attempts: 0,
+                timer,
+            },
+        );
+    }
+    gaat_net::send(w, sim, msg);
+}
+
+/// Ack timeout fired: the timer event is already consumed, so go
+/// straight to the retry step.
+fn retry_timer_fire<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, token: u64) {
+    if w.ucx_mut().retry.contains_key(&token) {
+        w.ucx_mut().stats.timeouts += 1;
+        retry_step(w, sim, token);
+    }
+}
+
+/// Retransmit `token` (or escalate). The caller has consumed or
+/// cancelled the previous timer.
+fn retry_step<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, token: u64) {
+    let rel = w.ucx_mut().params.reliability.clone();
+    let Some(st) = w.ucx_mut().retry.get(&token).copied() else {
+        return; // acked in the meantime
+    };
+    if !w.worker_alive(st.to) {
+        // The runtime already knows this peer is gone; stop quietly and
+        // drop the dangling protocol state for this token.
+        w.ucx_mut().retry.remove(&token);
+        w.ucx_mut().net_events.remove(&token);
+        return;
+    }
+    if st.attempts >= rel.max_retries {
+        w.ucx_mut().retry.remove(&token);
+        w.ucx_mut().net_events.remove(&token);
+        w.ucx_mut().stats.peers_dead += 1;
+        w.on_ucx_event(sim, UcxEvent::PeerDead { worker: st.to });
+        return;
+    }
+    let attempt = st.attempts + 1;
+    let mut msg = st.msg;
+    msg.attempt = attempt;
+    let seed = w.fabric_mut().faults().seed;
+    let timer = sim.after_call1(
+        retry_timeout(&rel, seed, token, attempt),
+        retry_timer_fire::<W>,
+        token,
+    );
+    {
+        let st = w.ucx_mut().retry.get_mut(&token).expect("checked above");
+        st.msg = msg;
+        st.attempts = attempt;
+        st.timer = timer;
+    }
+    w.ucx_mut().stats.retransmits += 1;
+    gaat_net::send(w, sim, msg);
+}
+
+/// Receiver side: acknowledge `msg`. Acks are fire-and-forget — a lost
+/// ack costs one duplicate retransmission, nothing more. The ack reuses
+/// the acked message's attempt number so the re-ack of a retransmitted
+/// duplicate gets a *fresh* loss draw from the fault plan: with a fixed
+/// attempt, an ack fated to drop would be dropped on every retry and the
+/// sender would wrongly escalate to `PeerDead`.
+fn send_ack<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, msg: &NetMsg) {
+    let ack_bytes = w.ucx_mut().params.reliability.ack_bytes;
+    w.ucx_mut().stats.acks_sent += 1;
+    gaat_net::send(
+        w,
+        sim,
+        NetMsg {
+            src: msg.dst,
+            dst: msg.src,
+            bytes: ack_bytes,
+            extra_latency: SimDuration::ZERO,
+            token: msg.token | ACK_BIT,
+            class: TrafficClass::Control,
+            attempt: msg.attempt,
+        },
+    );
+}
+
+/// Route a fabric *loss notification* to the protocol engine: the
+/// message's link went down mid-flight, or link failures left it no
+/// route. The embedding world calls this from `NetHost::on_net_dropped`.
+/// With reliability on this is a fast retransmit (no need to wait for
+/// the ack timeout — the fabric told us); with it off the loss stands.
+pub fn on_net_dropped<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, msg: NetMsg) {
+    if !w.ucx_mut().params.reliability.enabled {
+        return;
+    }
+    if msg.token & ACK_BIT != 0 {
+        return; // a dead ack; the sender's timeout recovers
+    }
+    if let Some(st) = w.ucx_mut().retry.get(&msg.token) {
+        let timer = st.timer;
+        sim.cancel(timer);
+        retry_step(w, sim, msg.token);
+    }
+}
+
 /// Post a nonblocking two-sided send of `loc` from `from` to `to` with
 /// matching `tag`. `user` is echoed back in the `SendDone` event.
 pub fn isend<W: UcxHost>(
@@ -360,9 +611,10 @@ pub fn isend<W: UcxHost>(
             let header = w.ucx_mut().params.header_bytes;
             w.ucx_mut().transfers.get_mut(&xfer).expect("live").payload = payload;
             let token = w.ucx_mut().net_token(NetEvent::Eager { xfer });
-            gaat_net::send(
+            rsend(
                 w,
                 sim,
+                to,
                 NetMsg {
                     src: src_node,
                     dst: dst_node,
@@ -370,6 +622,7 @@ pub fn isend<W: UcxHost>(
                     extra_latency: SimDuration::ZERO,
                     token,
                     class: TrafficClass::Data,
+                    attempt: 0,
                 },
             );
             sim.soon_call2(eager_send_done::<W>, from.0 as u64, user);
@@ -386,9 +639,10 @@ pub fn isend<W: UcxHost>(
                 (p.header_bytes, p.handshake_overhead)
             };
             let token = w.ucx_mut().net_token(NetEvent::Rts { xfer });
-            gaat_net::send(
+            rsend(
                 w,
                 sim,
+                to,
                 NetMsg {
                     src: src_node,
                     dst: dst_node,
@@ -396,6 +650,7 @@ pub fn isend<W: UcxHost>(
                     extra_latency: hs,
                     token,
                     class: TrafficClass::Control,
+                    attempt: 0,
                 },
             );
         }
@@ -467,9 +722,10 @@ pub fn am_send<W: UcxHost>(
     let header = w.ucx_mut().params.header_bytes;
     let token = w.ucx_mut().net_token(NetEvent::Am { at: to, user });
     let (src, dst) = (w.worker_node(from), w.worker_node(to));
-    gaat_net::send(
+    rsend(
         w,
         sim,
+        to,
         NetMsg {
             src,
             dst,
@@ -477,6 +733,7 @@ pub fn am_send<W: UcxHost>(
             extra_latency: SimDuration::ZERO,
             token,
             class: TrafficClass::Am,
+            attempt: 0,
         },
     );
 }
@@ -495,11 +752,40 @@ fn attach_recv<W: UcxHost>(w: &mut W, xfer: u64, loc: MemLoc, user: u64) {
 /// Route a fabric delivery to the protocol engine. The embedding world
 /// calls this from its `NetHost::on_net_deliver`.
 pub fn on_net_deliver<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, msg: NetMsg) {
-    let ev = w
-        .ucx_mut()
-        .net_events
-        .remove(&msg.token)
-        .expect("unknown net token");
+    let ev = if w.ucx_mut().params.reliability.enabled {
+        if msg.token & ACK_BIT != 0 {
+            // An ack came home: retire the sender's retry state.
+            let of = msg.token & !ACK_BIT;
+            if let Some(st) = w.ucx_mut().retry.remove(&of) {
+                sim.cancel(st.timer);
+                w.ucx_mut().stats.acks_received += 1;
+            }
+            return;
+        }
+        if w.ucx_mut().delivered.contains(&msg.token) {
+            // A retransmit of something already processed (its ack was
+            // lost): re-ack and suppress.
+            w.ucx_mut().stats.duplicates += 1;
+            send_ack(w, sim, &msg);
+            return;
+        }
+        w.ucx_mut().delivered.insert(msg.token);
+        send_ack(w, sim, &msg);
+        match w.ucx_mut().net_events.remove(&msg.token) {
+            Some(ev) => ev,
+            None => {
+                // A late copy of a message whose state was already torn
+                // down (escalation or purge raced an in-flight copy).
+                w.ucx_mut().stats.stale_tokens += 1;
+                return;
+            }
+        }
+    } else {
+        w.ucx_mut()
+            .net_events
+            .remove(&msg.token)
+            .expect("unknown net token")
+    };
     match ev {
         NetEvent::Am { at, user } => {
             w.on_ucx_event(sim, UcxEvent::AmDelivered { at, user });
@@ -619,9 +905,10 @@ pub fn on_gpu_tag<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, cookie: u64) {
             let derate = w.ucx_mut().params.pipeline_bw_derate;
             let wire_bytes = (this_bytes as f64 * derate).round() as u64;
             w.ucx_mut().stats.chunks += 1;
-            gaat_net::send(
+            rsend(
                 w,
                 sim,
+                to,
                 NetMsg {
                     src: sn,
                     dst: dn,
@@ -629,6 +916,7 @@ pub fn on_gpu_tag<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, cookie: u64) {
                     extra_latency: SimDuration::ZERO,
                     token,
                     class: TrafficClass::Data,
+                    attempt: 0,
                 },
             );
             if done == total {
@@ -671,9 +959,10 @@ fn send_cts<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, xfer: u64) {
     };
     let token = w.ucx_mut().net_token(NetEvent::Cts { xfer });
     let (sn, dn) = (w.worker_node(to), w.worker_node(from));
-    gaat_net::send(
+    rsend(
         w,
         sim,
+        from,
         NetMsg {
             src: sn,
             dst: dn,
@@ -681,6 +970,7 @@ fn send_cts<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, xfer: u64) {
             extra_latency: hs,
             token,
             class: TrafficClass::Control,
+            attempt: 0,
         },
     );
 }
@@ -711,9 +1001,10 @@ fn start_data<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, xfer: u64) {
             let wire_bytes = ((bytes as f64) * derate).round() as u64 + header;
             let token = w.ucx_mut().net_token(NetEvent::Data { xfer });
             let (sn, dn) = (w.worker_node(from), w.worker_node(to));
-            gaat_net::send(
+            rsend(
                 w,
                 sim,
+                to,
                 NetMsg {
                     src: sn,
                     dst: dn,
@@ -721,6 +1012,7 @@ fn start_data<W: UcxHost>(w: &mut W, sim: &mut Sim<W>, xfer: u64) {
                     extra_latency: extra,
                     token,
                     class: TrafficClass::Data,
+                    attempt: 0,
                 },
             );
         }

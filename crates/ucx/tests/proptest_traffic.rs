@@ -10,8 +10,11 @@ use gaat_gpu::{
     BufRange, BufferId, CompletionTag, Device, DeviceId, GpuHost, GpuTimingModel, Space,
 };
 use gaat_net::{Fabric, NetHost, NetMsg, NetParams, NodeId};
+use gaat_sim::FaultPlan;
 use gaat_sim::{Sim, SimRng, SimTime};
-use gaat_ucx::{irecv, isend, MemLoc, Tag, UcxEvent, UcxHost, UcxParams, UcxState, WorkerId};
+use gaat_ucx::{
+    irecv, isend, MemLoc, ReliabilityParams, Tag, UcxEvent, UcxHost, UcxParams, UcxState, WorkerId,
+};
 
 struct World {
     devices: Vec<Device>,
@@ -21,6 +24,7 @@ struct World {
     next_tag: u64,
     recv_done: usize,
     send_done: usize,
+    expected: Vec<(BufferId, usize, Vec<f64>)>,
 }
 
 impl World {
@@ -39,6 +43,7 @@ impl World {
             next_tag: 0,
             recv_done: 0,
             send_done: 0,
+            expected: Vec::new(),
         }
     }
 }
@@ -72,6 +77,7 @@ impl UcxHost for World {
             UcxEvent::RecvDone { .. } => self.recv_done += 1,
             UcxEvent::SendDone { .. } => self.send_done += 1,
             UcxEvent::AmDelivered { .. } => {}
+            UcxEvent::PeerDead { .. } => panic!("no peer should die in fault-free traffic"),
         }
     }
     fn alloc_gpu_tag(&mut self, cookie: u64) -> CompletionTag {
@@ -115,6 +121,70 @@ fn msg_strategy(workers: usize) -> impl Strategy<Value = Msg> {
         )
 }
 
+/// Drive `msgs` through a fresh world and return it at quiescence.
+/// Shrinks the protocol thresholds so the small test sizes still cross
+/// every protocol boundary.
+fn drive(msgs: &[Msg], reliability: ReliabilityParams, faults: FaultPlan) -> World {
+    let params = UcxParams {
+        eager_threshold: 4 << 10,     // 4 KiB
+        pipeline_threshold: 16 << 10, // 16 KiB
+        pipeline_chunk: 8 << 10,
+        reliability,
+        ..UcxParams::default()
+    };
+    let mut w = World::new(3, params);
+    w.fabric.set_faults(faults);
+    let mut expected: Vec<(BufferId, usize, Vec<f64>)> = Vec::new();
+    let mut plan: Vec<(Msg, BufferId, BufferId)> = Vec::new();
+    for (i, m) in msgs.iter().enumerate() {
+        let space = if m.device_space {
+            Space::Device
+        } else {
+            Space::Host
+        };
+        let sbuf = w.devices[m.from].mem.alloc_real(space, m.elems);
+        let rbuf = w.devices[m.to].mem.alloc_real(space, m.elems);
+        let data: Vec<f64> = (0..m.elems).map(|k| (i * 100_000 + k) as f64).collect();
+        w.devices[m.from]
+            .mem
+            .write(BufRange::whole(sbuf, m.elems), &data);
+        expected.push((rbuf, m.to, data));
+        plan.push((m.clone(), sbuf, rbuf));
+    }
+    let mut sim: Sim<World> = Sim::new().with_event_limit(5_000_000);
+    for (i, (m, sbuf, rbuf)) in plan.into_iter().enumerate() {
+        let tag = Tag(i as u64);
+        let (from, to) = (WorkerId(m.from), WorkerId(m.to));
+        let sloc = MemLoc {
+            device: DeviceId(m.from),
+            range: BufRange::whole(sbuf, m.elems),
+        };
+        let rloc = MemLoc {
+            device: DeviceId(m.to),
+            range: BufRange::whole(rbuf, m.elems),
+        };
+        let at = SimTime::from_ns(m.delay_ns);
+        if m.recv_first {
+            sim.at(at, move |w: &mut World, sim| {
+                irecv(w, sim, to, from, tag, rloc, 0)
+            });
+            sim.at(at, move |w: &mut World, sim| {
+                isend(w, sim, from, to, tag, sloc, 0)
+            });
+        } else {
+            sim.at(at, move |w: &mut World, sim| {
+                isend(w, sim, from, to, tag, sloc, 0)
+            });
+            sim.at(at, move |w: &mut World, sim| {
+                irecv(w, sim, to, from, tag, rloc, 0)
+            });
+        }
+    }
+    assert_eq!(sim.run(&mut w), gaat_sim::RunOutcome::Drained);
+    w.expected = expected;
+    w
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
@@ -124,53 +194,51 @@ proptest! {
     fn random_traffic_completes_with_intact_payloads(
         msgs in prop::collection::vec(msg_strategy(3), 1..25)
     ) {
-        // Shrink the thresholds so the small test sizes still cross every
-        // protocol boundary.
-        let params = UcxParams {
-            eager_threshold: 4 << 10,      // 4 KiB
-            pipeline_threshold: 16 << 10,  // 16 KiB
-            pipeline_chunk: 8 << 10,
-            ..UcxParams::default()
-        };
-        let mut w = World::new(3, params);
-        let mut expected: Vec<(BufferId, usize, Vec<f64>)> = Vec::new();
-        let mut plan: Vec<(Msg, BufferId, BufferId)> = Vec::new();
-        for (i, m) in msgs.iter().enumerate() {
-            let space = if m.device_space { Space::Device } else { Space::Host };
-            let sbuf = w.devices[m.from].mem.alloc_real(space, m.elems);
-            let rbuf = w.devices[m.to].mem.alloc_real(space, m.elems);
-            let data: Vec<f64> = (0..m.elems).map(|k| (i * 100_000 + k) as f64).collect();
-            w.devices[m.from]
-                .mem
-                .write(BufRange::whole(sbuf, m.elems), &data);
-            expected.push((rbuf, m.to, data));
-            plan.push((m.clone(), sbuf, rbuf));
-        }
-        let mut sim: Sim<World> = Sim::new().with_event_limit(5_000_000);
-        for (i, (m, sbuf, rbuf)) in plan.into_iter().enumerate() {
-            let tag = Tag(i as u64);
-            let (from, to) = (WorkerId(m.from), WorkerId(m.to));
-            let sloc = MemLoc { device: DeviceId(m.from), range: BufRange::whole(sbuf, m.elems) };
-            let rloc = MemLoc { device: DeviceId(m.to), range: BufRange::whole(rbuf, m.elems) };
-            let at = SimTime::from_ns(m.delay_ns);
-            if m.recv_first {
-                sim.at(at, move |w: &mut World, sim| irecv(w, sim, to, from, tag, rloc, 0));
-                sim.at(at, move |w: &mut World, sim| isend(w, sim, from, to, tag, sloc, 0));
-            } else {
-                sim.at(at, move |w: &mut World, sim| isend(w, sim, from, to, tag, sloc, 0));
-                sim.at(at, move |w: &mut World, sim| irecv(w, sim, to, from, tag, rloc, 0));
-            }
-        }
-        prop_assert_eq!(sim.run(&mut w), gaat_sim::RunOutcome::Drained);
+        let w = drive(&msgs, ReliabilityParams::default(), FaultPlan::none());
         prop_assert_eq!(w.recv_done, msgs.len());
         prop_assert_eq!(w.send_done, msgs.len());
         prop_assert_eq!(w.ucx.in_flight(), 0);
-        for (rbuf, owner, data) in expected {
-            let got = w.devices[owner]
+        for (rbuf, owner, data) in &w.expected {
+            let got = w.devices[*owner]
                 .mem
-                .read(BufRange::whole(rbuf, data.len()))
+                .read(BufRange::whole(*rbuf, data.len()))
                 .expect("real");
-            prop_assert_eq!(got, data);
+            prop_assert_eq!(&got, data);
+        }
+    }
+
+    /// The same property under stochastic loss with the reliable
+    /// transport on: arbitrary traffic plus arbitrary drop/corrupt rates
+    /// still completes exactly once per message with intact payloads,
+    /// and the retry machinery drains fully (quiesce invariant). The
+    /// retry budget is raised so compound data+ack loss cannot reach
+    /// peer-death escalation at these rates.
+    #[test]
+    fn lossy_traffic_completes_and_quiesces(
+        msgs in prop::collection::vec(msg_strategy(3), 1..20),
+        seed in 0u64..1000,
+        drop_permille in 0u32..200,
+        corrupt_permille in 0u32..50,
+    ) {
+        let drop_prob = drop_permille as f64 / 1000.0;
+        let corrupt_prob = corrupt_permille as f64 / 1000.0;
+        let rel = ReliabilityParams {
+            enabled: true,
+            max_retries: 20,
+            ..ReliabilityParams::default()
+        };
+        let faults = FaultPlan { seed, drop_prob, corrupt_prob, ..FaultPlan::none() };
+        let w = drive(&msgs, rel, faults);
+        prop_assert_eq!(w.recv_done, msgs.len());
+        prop_assert_eq!(w.send_done, msgs.len());
+        prop_assert_eq!(w.ucx.in_flight(), 0);
+        prop_assert_eq!(w.ucx.stashed(), 0);
+        for (rbuf, owner, data) in &w.expected {
+            let got = w.devices[*owner]
+                .mem
+                .read(BufRange::whole(*rbuf, data.len()))
+                .expect("real");
+            prop_assert_eq!(&got, data);
         }
     }
 }

@@ -18,7 +18,7 @@
 
 use gaat::jacobi3d::{charm, CommMode, Dims, JacobiConfig};
 use gaat::rt::MachineConfig;
-use gaat::sim::{SimTime, Tracer};
+use gaat::sim::{FaultPlan, SimTime, Tracer};
 
 fn trace_out_path() -> Option<std::path::PathBuf> {
     let mut args = std::env::args().skip(1);
@@ -34,10 +34,38 @@ fn trace_out_path() -> Option<std::path::PathBuf> {
     None
 }
 
+/// `--drop RATE` injects stochastic message loss (reliable transport
+/// on): the retransmissions then show up both in the counters and as
+/// extra spans on the fabric link lanes of the exported trace.
+fn drop_rate() -> Option<f64> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--drop" {
+            let p = args.next().expect("--drop requires a rate");
+            return Some(p.parse().expect("parse drop rate"));
+        }
+        if let Some(p) = arg.strip_prefix("--drop=") {
+            return Some(p.parse().expect("parse drop rate"));
+        }
+    }
+    None
+}
+
 fn main() {
     let trace_out = trace_out_path();
-    let mut machine = MachineConfig::summit(1);
+    let drop = drop_rate();
+    // Loss needs inter-node traffic to act on; the fault-free profile
+    // keeps the paper's single-node Nsight setup.
+    let mut machine = MachineConfig::summit(if drop.is_some() { 2 } else { 1 });
     machine.trace = true;
+    if let Some(p) = drop {
+        machine.faults = FaultPlan {
+            seed: 42,
+            drop_prob: p,
+            ..FaultPlan::none()
+        };
+        machine.ucx.reliability.enabled = true;
+    }
     let mut cfg = JacobiConfig::new(machine, Dims::cube(768));
     cfg.comm = CommMode::HostStaging; // more engine traffic to look at
     cfg.odf = 2;
@@ -73,6 +101,20 @@ fn main() {
             sim.machine.pes[pe].stats.messages
         );
     }
+
+    // Fault/reliability counters (all zero on a clean run; `--drop`
+    // makes the retry machinery visible here and on the link lanes).
+    let ucx = sim.machine.ucx.stats();
+    let net = sim.machine.fabric.stats();
+    println!("\n== fault / reliability counters ==");
+    println!(
+        "  fabric: {} drops, {} corrupts, {} failovers, {} no-routes",
+        net.drops, net.corrupts, net.failovers, net.no_routes
+    );
+    println!(
+        "  ucx:    {} retransmits, {} timeouts, {} duplicates, {} acks sent/{} received, {} peers dead",
+        ucx.retransmits, ucx.timeouts, ucx.duplicates, ucx.acks_sent, ucx.acks_received, ucx.peers_dead
+    );
 
     // Timeline of GPU 0's engines across iterations 3-4 of the run.
     let from = result.warm_at;

@@ -33,4 +33,11 @@ grep -q '"pass": true' /tmp/BENCH_net_smoke.json \
   || { echo "sanity_pin failed in BENCH_net_smoke.json" >&2; exit 1; }
 echo "topo smoke OK"
 
+echo "==> fault-injection smoke"
+# Deterministic replay diff (same fault seed twice -> identical
+# fingerprints) + Jacobi3D bit-identical to the reference under 1%
+# message drop with the reliable transport on. Offline, sub-second.
+cargo run --release -p gaat-bench --bin fault_smoke
+echo "fault smoke OK"
+
 echo "CI green"

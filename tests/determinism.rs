@@ -130,6 +130,56 @@ fn seeds_change_timing_but_not_structure() {
     assert!((0.9..1.1).contains(&ratio), "jitter is small: {ratio}");
 }
 
+/// A fault plan with every stochastic knob at zero is `!is_active()` and
+/// must be *behaviourally invisible*: the run takes the no-fault fast
+/// paths and reproduces the golden totals bit for bit, even though the
+/// plan's seed is nonzero.
+#[test]
+fn inert_fault_plan_matches_goldens() {
+    let mut c = cfg();
+    c.machine.faults = gaat::sim::FaultPlan {
+        seed: 7,
+        drop_prob: 0.0,
+        ..gaat::sim::FaultPlan::none()
+    };
+    c.comm = CommMode::HostStaging;
+    c.odf = 4;
+    let r = run_charm(c);
+    assert_eq!(r.total.as_ns(), 5_375_600, "inert plan must not move time");
+    assert_eq!(r.entries, 4_736);
+    assert_eq!(r.kernels, 4_640);
+}
+
+/// Fault injection is part of the deterministic state: the same lossy
+/// seed replays the same drops, retransmissions, and final timing.
+#[test]
+fn lossy_runs_replay_exactly() {
+    let mk = || {
+        let mut c = cfg();
+        c.machine.faults = gaat::sim::FaultPlan {
+            seed: 42,
+            drop_prob: 0.05,
+            corrupt_prob: 0.01,
+            ..gaat::sim::FaultPlan::none()
+        };
+        c.machine.ucx.reliability.enabled = true;
+        c.comm = CommMode::HostStaging;
+        c.odf = 4;
+        c
+    };
+    let a = run_charm(mk());
+    let b = run_charm(mk());
+    assert_eq!(a.total, b.total);
+    assert_eq!(a.entries, b.entries);
+    assert_eq!(a.kernels, b.kernels);
+    // And the faults genuinely fired: loss costs time over the clean run.
+    let mut clean = cfg();
+    clean.comm = CommMode::HostStaging;
+    clean.odf = 4;
+    let c = run_charm(clean);
+    assert!(a.total > c.total, "{} vs {}", a.total, c.total);
+}
+
 #[test]
 fn zero_jitter_makes_seeds_irrelevant() {
     let mk = |seed| {
