@@ -55,7 +55,7 @@ fn pingpong(remote: bool, hops: u64) -> gaat_sim::SimTime {
         .expect("ping")
         .peer = Some(b);
     {
-        let Simulation { sim, machine } = &mut sim;
+        let Simulation { sim, machine, .. } = &mut sim;
         machine.inject(sim, a, Envelope::empty(E_PING));
     }
     sim.run();
@@ -112,7 +112,7 @@ fn bench_reduction(c: &mut Criterion) {
                 })
                 .collect();
             {
-                let Simulation { sim, machine } = &mut sim;
+                let Simulation { sim, machine, .. } = &mut sim;
                 for &id in &ids {
                     machine.inject(sim, id, Envelope::empty(EntryId(0)));
                 }

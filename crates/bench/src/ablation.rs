@@ -151,7 +151,7 @@ pub fn channel_vs_gpu_messaging(bytes: u64, hops: u32) -> (f64, f64) {
                 .channel = Some(eb);
         }
         {
-            let Simulation { sim, machine } = &mut sim;
+            let Simulation { sim, machine, .. } = &mut sim;
             machine.inject(sim, a, Envelope::empty(E_GO));
             machine.inject(sim, b, Envelope::empty(E_GO));
         }
@@ -247,7 +247,7 @@ pub fn sync_vs_async_completion(chares: usize, reps: u32, kernel_us: u64) -> (f6
             ));
         }
         {
-            let Simulation { sim, machine } = &mut sim;
+            let Simulation { sim, machine, .. } = &mut sim;
             for &id in &ids {
                 machine.inject(sim, id, Envelope::empty(E_GO));
             }

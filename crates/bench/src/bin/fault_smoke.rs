@@ -113,7 +113,7 @@ fn sweep() {
                     // Without retries loss stalls blocks; run the raw
                     // event loop to drain and count the casualties.
                     {
-                        let Simulation { sim, machine } = &mut sim;
+                        let Simulation { sim, machine, .. } = &mut sim;
                         machine.broadcast(sim, &ids, charm::E_START, 0);
                     }
                     sim.run();

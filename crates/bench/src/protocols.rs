@@ -109,7 +109,7 @@ pub fn measure(bytes: u64, space: Space) -> ProtocolPoint {
         }),
     );
     {
-        let Simulation { sim, machine } = &mut sim;
+        let Simulation { sim, machine, .. } = &mut sim;
         machine.inject(sim, recv, Envelope::empty(E_GO));
         machine.inject(sim, send, Envelope::empty(E_GO));
     }

@@ -62,7 +62,7 @@
 //! let stream = sim.machine.devices[0].create_stream(0);
 //! let c = sim.machine.create_chare(0, Box::new(Offloader { stream, finished: false }));
 //! {
-//!     let Simulation { sim, machine } = &mut sim;
+//!     let Simulation { sim, machine, .. } = &mut sim;
 //!     machine.inject(sim, c, Envelope::empty(E_GO));
 //! }
 //! sim.run();
@@ -84,8 +84,8 @@ pub mod sdag;
 
 pub use channel::{create_channel, ChannelEnd};
 pub use ckpt::ChareSnapshot;
-pub use config::{MachineConfig, RtCosts};
-pub use machine::{Chare, Ctx, Machine, MachineStats, Simulation};
+pub use config::{MachineConfig, RtCosts, ShardPlan};
+pub use machine::{Chare, Ctx, Machine, MachineStats, Simulation, WindowStats};
 pub use msg::{Callback, ChareId, EntryId, Envelope, MsgPriority};
 pub use pe::{Pe, PeStats};
 pub use sdag::WhenSet;

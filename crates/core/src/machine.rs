@@ -17,7 +17,7 @@ use gaat_net::{Fabric, NetHost, NetMsg, NodeId};
 use gaat_sim::{RunOutcome, Sim, SimDuration, SimRng, SimTime, Tracer};
 use gaat_ucx::{MemLoc, UcxEvent, UcxHost, UcxState, WorkerId};
 
-use crate::config::MachineConfig;
+use crate::config::{MachineConfig, ShardPlan};
 use crate::msg::{Callback, ChareId, Envelope};
 use crate::pe::Pe;
 
@@ -288,6 +288,26 @@ pub struct MachineStats {
     pub chares_restored: u64,
 }
 
+/// One cross-shard delivery recorded by the windowed run's ledger. The
+/// fabric has priced the message (its delivery instant is fixed at
+/// admission); the barrier drains the ledger in `(time, src_node, token)`
+/// order — a total order independent of shard count — and asserts the
+/// conservative-window invariant on every entry.
+#[derive(Debug, Clone, Copy)]
+struct StagedDelivery {
+    at: SimTime,
+    src_node: usize,
+    token: u64,
+    flight: u32,
+}
+
+/// Windowed-execution state installed on the machine while a
+/// `workers > 1` run is in progress (see [`Simulation::run`]).
+struct WindowState {
+    plan: ShardPlan,
+    parked: Vec<StagedDelivery>,
+}
+
 /// The world type of every simulation in this stack.
 pub struct Machine {
     /// Configuration the machine was built from.
@@ -333,6 +353,8 @@ pub struct Machine {
     /// own tracer.
     pub tracer: Tracer,
     stats: MachineStats,
+    /// `Some` only while a windowed (`workers > 1`) run is in progress.
+    window: Option<WindowState>,
 }
 
 impl Machine {
@@ -387,6 +409,7 @@ impl Machine {
             },
             cfg,
             stats: MachineStats::default(),
+            window: None,
         }
     }
 
@@ -937,6 +960,32 @@ impl NetHost for Machine {
         // instead of waiting out the ack timeout.
         gaat_ucx::on_net_dropped(self, sim, msg);
     }
+
+    fn stage_delivery(&mut self, at: SimTime, msg: &NetMsg, flight: u32) -> bool {
+        // Single branch on the workers == 1 fast path (`window` is None).
+        let Some(ws) = &mut self.window else {
+            return false;
+        };
+        if !ws.plan.is_cross_shard(msg.src.0, msg.dst.0) {
+            return false;
+        }
+        ws.parked.push(StagedDelivery {
+            at,
+            src_node: msg.src.0,
+            token: msg.token,
+            flight,
+        });
+        // Record only — returning false lets `send` schedule the event
+        // eagerly. Deferring the schedule to the barrier would hand the
+        // delivery a later `seq` than window-local events created after
+        // the send, flipping same-nanosecond ties and, through the global
+        // token counter those ties feed, the jitter draws themselves —
+        // measured as a 38 ns drift on the MPI golden. The window ledger
+        // instead *verifies* the exchange at the barrier (sorted merge,
+        // lookahead assertion) while execution order stays exactly the
+        // sequential one.
+        false
+    }
 }
 
 impl UcxHost for Machine {
@@ -1224,12 +1273,24 @@ impl<'a> Ctx<'a> {
     }
 }
 
+/// Counters from windowed (`workers > 1`) execution; all zero after a
+/// single-threaded run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WindowStats {
+    /// Lookahead windows executed.
+    pub windows: u64,
+    /// Cross-shard deliveries staged and merged at window barriers.
+    pub staged: u64,
+}
+
 /// A ready-to-run simulation: the engine plus the machine.
 pub struct Simulation {
     /// The event engine.
     pub sim: Sim<Machine>,
     /// The machine state.
     pub machine: Machine,
+    /// Windowed-execution counters (all zero at `workers == 1`).
+    pub window_stats: WindowStats,
 }
 
 impl Simulation {
@@ -1238,13 +1299,98 @@ impl Simulation {
         let mut sim = Sim::new().with_event_limit(5_000_000_000);
         let mut machine = Machine::new(cfg);
         machine.arm_faults(&mut sim);
-        Simulation { sim, machine }
+        Simulation {
+            sim,
+            machine,
+            window_stats: WindowStats::default(),
+        }
     }
 
     /// Run to quiescence (the drained event queue *is* quiescence
     /// detection: no pending work anywhere in the machine).
+    ///
+    /// At `workers == 1` this is exactly the sequential engine loop. At
+    /// `workers > 1` the machine's nodes are partitioned into contiguous
+    /// shards ([`ShardPlan::contiguous`]) and the run proceeds in
+    /// conservative lookahead windows with cross-shard deliveries merged
+    /// deterministically at window barriers — bit-identical to the
+    /// sequential run for any worker count.
     pub fn run(&mut self) -> RunOutcome {
-        self.sim.run(&mut self.machine)
+        if self.machine.cfg.workers <= 1 {
+            return self.sim.run(&mut self.machine);
+        }
+        self.run_windowed(None)
+    }
+
+    /// [`Simulation::run`] under an explicit node→shard map (must be
+    /// dense over `0..workers`; tests randomize it to show the partition
+    /// cannot change results).
+    pub fn run_with_partition(&mut self, node_to_shard: Vec<usize>) -> RunOutcome {
+        self.run_windowed(Some(node_to_shard))
+    }
+
+    fn run_windowed(&mut self, map: Option<Vec<usize>>) -> RunOutcome {
+        let cfg = &self.machine.cfg;
+        assert!(
+            !cfg.faults.is_active(),
+            "fault plans are not yet supported with workers > 1: \
+             fault draws are ordered by global execution, which shards do \
+             not reproduce — run with workers = 1"
+        );
+        let lookahead = self.machine.fabric.lookahead().expect(
+            "workers > 1 is not yet supported on closed-loop topologies \
+             (fat tree): flow completion times depend on later admissions, \
+             so no admission-time lookahead exists — run with workers = 1",
+        );
+        let plan = match map {
+            Some(m) => ShardPlan::with_map(cfg, lookahead, m),
+            None => ShardPlan::contiguous(cfg, lookahead),
+        };
+        self.machine.window = Some(WindowState {
+            plan,
+            parked: Vec::new(),
+        });
+        let outcome = loop {
+            // Window start: the earliest pending event anywhere. Staged
+            // deliveries are always drained before this peek, so an empty
+            // queue really is quiescence.
+            let Some(t0) = self.sim.peek_time() else {
+                break RunOutcome::Drained;
+            };
+            let deadline = t0 + lookahead - SimDuration::from_ns(1);
+            match self.sim.run_until(&mut self.machine, deadline) {
+                RunOutcome::Drained => {}
+                other => break other,
+            }
+            self.window_stats.windows += 1;
+            // Window barrier: drain the ledger of cross-shard deliveries
+            // this window produced, in a total order independent of the
+            // partition, and check the conservative-window invariant —
+            // no cross-shard message may land inside the window that sent
+            // it (its delivery event already exists; see
+            // `Machine::stage_delivery` for why scheduling is eager).
+            let ws = self.machine.window.as_mut().expect("windowed run");
+            if ws.parked.is_empty() {
+                continue;
+            }
+            let mut parked = std::mem::take(&mut ws.parked);
+            self.window_stats.staged += parked.len() as u64;
+            parked.sort_by_key(|d| (d.at, d.src_node, d.token));
+            for d in &parked {
+                assert!(
+                    d.at > deadline,
+                    "lookahead violation: cross-shard delivery (flight {}) \
+                     at {} inside the window ending at {}",
+                    d.flight,
+                    d.at,
+                    deadline
+                );
+            }
+            parked.clear();
+            self.machine.window.as_mut().expect("windowed run").parked = parked;
+        };
+        self.machine.window = None;
+        outcome
     }
 
     /// Current simulated time.
@@ -1312,7 +1458,7 @@ mod tests {
     #[test]
     fn ping_pong_across_nodes() {
         let (mut s, a, b) = two_chare_setup(false);
-        let Simulation { sim, machine } = &mut s;
+        let Simulation { sim, machine, .. } = &mut s;
         machine.inject(sim, a, Envelope::empty(E_PING));
         assert_eq!(s.run(), RunOutcome::Drained);
         let pa = s.machine.chare_as::<Ping>(a);
@@ -1327,7 +1473,7 @@ mod tests {
     fn ping_pong_same_pe_is_faster() {
         let (mut s1, a1, _) = two_chare_setup(false);
         {
-            let Simulation { sim, machine } = &mut s1;
+            let Simulation { sim, machine, .. } = &mut s1;
             machine.inject(sim, a1, Envelope::empty(E_PING));
         }
         s1.run();
@@ -1335,7 +1481,7 @@ mod tests {
 
         let (mut s2, a2, _) = two_chare_setup(true);
         {
-            let Simulation { sim, machine } = &mut s2;
+            let Simulation { sim, machine, .. } = &mut s2;
             machine.inject(sim, a2, Envelope::empty(E_PING));
         }
         s2.run();
@@ -1360,7 +1506,7 @@ mod tests {
         let c = s
             .machine
             .create_chare(0, Box::new(Recorder { order: vec![] }));
-        let Simulation { sim, machine } = &mut s;
+        let Simulation { sim, machine, .. } = &mut s;
         // Three normal messages then one high-priority one, all at t=0.
         machine.inject(sim, c, Envelope::empty(EntryId(1)));
         machine.inject(sim, c, Envelope::empty(EntryId(2)));
@@ -1422,7 +1568,7 @@ mod tests {
                 launched_at: None,
             }),
         );
-        let Simulation { sim, machine } = &mut s;
+        let Simulation { sim, machine, .. } = &mut s;
         machine.inject(sim, c, Envelope::empty(E_GO));
         assert_eq!(s.run(), RunOutcome::Drained);
         let g = s.machine.chare_as::<GpuUser>(c);
@@ -1478,7 +1624,7 @@ mod tests {
         let bystander = s
             .machine
             .create_chare(0, Box::new(Bystander { ran_at: None }));
-        let Simulation { sim, machine } = &mut s;
+        let Simulation { sim, machine, .. } = &mut s;
         machine.inject(sim, blocker, Envelope::empty(EntryId(0)));
         machine.inject(sim, bystander, Envelope::empty(EntryId(0)));
         s.run();
@@ -1528,7 +1674,7 @@ mod tests {
         let b = s
             .machine
             .create_chare(0, Box::new(Bystander { ran_at: None }));
-        let Simulation { sim, machine } = &mut s;
+        let Simulation { sim, machine, .. } = &mut s;
         machine.inject(sim, a, Envelope::empty(EntryId(0)));
         machine.inject(sim, b, Envelope::empty(EntryId(0)));
         s.run();
@@ -1580,7 +1726,7 @@ mod tests {
                 }),
             ));
         }
-        let Simulation { sim, machine } = &mut s;
+        let Simulation { sim, machine, .. } = &mut s;
         for &c in &ids {
             machine.inject(sim, c, Envelope::empty(EntryId(0)));
         }
@@ -1604,17 +1750,70 @@ mod tests {
             .machine
             .create_chare(0, Box::new(WhichPe { ran_on: vec![] }));
         {
-            let Simulation { sim, machine } = &mut s;
+            let Simulation { sim, machine, .. } = &mut s;
             machine.inject(sim, c, Envelope::empty(EntryId(0)));
         }
         s.run();
         s.machine.migrate(c, 1);
         {
-            let Simulation { sim, machine } = &mut s;
+            let Simulation { sim, machine, .. } = &mut s;
             machine.inject(sim, c, Envelope::empty(EntryId(0)));
         }
         s.run();
         assert_eq!(s.machine.chare_as::<WhichPe>(c).ran_on, vec![0, 1]);
         assert_eq!(s.machine.stats().migrations, 1);
+    }
+
+    #[test]
+    fn windowed_run_matches_sequential_on_ping_pong() {
+        let (mut s1, a1, b1) = two_chare_setup(false);
+        {
+            let Simulation { sim, machine, .. } = &mut s1;
+            machine.inject(sim, a1, Envelope::empty(E_PING));
+        }
+        assert_eq!(s1.run(), RunOutcome::Drained);
+
+        let (mut s2, a2, b2) = two_chare_setup(false);
+        s2.machine.cfg.workers = 2;
+        {
+            let Simulation { sim, machine, .. } = &mut s2;
+            machine.inject(sim, a2, Envelope::empty(E_PING));
+        }
+        assert_eq!(s2.run(), RunOutcome::Drained);
+        assert_eq!(s2.now(), s1.now(), "windowed run must be bit-identical");
+        assert_eq!(
+            s2.machine.chare_as::<Ping>(a2).got,
+            s1.machine.chare_as::<Ping>(a1).got
+        );
+        assert_eq!(
+            s2.machine.chare_as::<Ping>(b2).got,
+            s1.machine.chare_as::<Ping>(b1).got
+        );
+        assert!(s2.window_stats.windows > 0, "cross-node run uses windows");
+        assert!(
+            s1.window_stats.windows == 0,
+            "workers=1 takes the fast path"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plans are not yet supported with workers > 1")]
+    fn workers_with_fault_plan_fails_fast() {
+        let mut cfg = MachineConfig::summit(2);
+        cfg.workers = 2;
+        cfg.faults = gaat_sim::FaultPlan {
+            seed: 7,
+            drop_prob: 0.01,
+            ..gaat_sim::FaultPlan::none()
+        };
+        Simulation::new(cfg).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "closed-loop topologies")]
+    fn workers_on_fat_tree_fails_fast() {
+        let mut cfg = MachineConfig::summit_fattree(2);
+        cfg.workers = 2;
+        Simulation::new(cfg).run();
     }
 }

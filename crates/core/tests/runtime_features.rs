@@ -40,7 +40,7 @@ fn broadcast_reaches_every_target_once() {
         }
     }
     {
-        let Simulation { sim, machine } = &mut sim;
+        let Simulation { sim, machine, .. } = &mut sim;
         let targets = ids.clone();
         machine.broadcast(sim, &targets, E_GO, 7);
     }
@@ -65,7 +65,7 @@ fn broadcast_scales_logarithmically() {
             })
             .collect();
         {
-            let Simulation { sim, machine } = &mut sim;
+            let Simulation { sim, machine, .. } = &mut sim;
             machine.broadcast(sim, &ids, E_GO, 0);
         }
         sim.run();
@@ -161,7 +161,7 @@ fn channel_sequences_stay_matched_over_many_rounds() {
         .expect("chare")
         .end = Some(eb);
     {
-        let Simulation { sim, machine } = &mut sim;
+        let Simulation { sim, machine, .. } = &mut sim;
         machine.inject(sim, a, Envelope::empty(E_GO));
         machine.inject(sim, b, Envelope::empty(E_GO));
     }
@@ -261,7 +261,7 @@ fn gpu_messaging_api_moves_data_with_post_entry() {
     );
     assert_eq!((ca, cb), (a, b));
     {
-        let Simulation { sim, machine } = &mut sim;
+        let Simulation { sim, machine, .. } = &mut sim;
         machine.inject(sim, a, Envelope::empty(E_GO));
     }
     sim.run();
@@ -324,7 +324,7 @@ fn reduction_rounds_do_not_mix() {
         })
         .collect();
     {
-        let Simulation { sim, machine } = &mut sim;
+        let Simulation { sim, machine, .. } = &mut sim;
         for &id in &ids {
             machine.inject(sim, id, Envelope::empty(E_GO));
         }

@@ -36,7 +36,7 @@ fn kernel_launches_are_spread_by_cpu_cost() {
         .machine
         .create_chare(0, Box::new(Launcher { stream, n: 5 }));
     {
-        let Simulation { sim, machine } = &mut sim;
+        let Simulation { sim, machine, .. } = &mut sim;
         machine.inject(sim, c, Envelope::empty(E_GO));
     }
     sim.run();
@@ -84,7 +84,7 @@ fn charged_time_delays_the_next_dispatch() {
         }),
     );
     {
-        let Simulation { sim, machine } = &mut sim;
+        let Simulation { sim, machine, .. } = &mut sim;
         machine.inject(sim, c, Envelope::empty(E_GO));
         machine.inject(sim, c, Envelope::empty(E_GO));
     }
@@ -130,7 +130,7 @@ fn send_offsets_respect_program_order() {
         .machine
         .create_chare(0, Box::new(Sender { peers: vec![a, b] }));
     {
-        let Simulation { sim, machine } = &mut sim;
+        let Simulation { sim, machine, .. } = &mut sim;
         machine.inject(sim, s, Envelope::empty(E_GO));
     }
     sim.run();
@@ -178,7 +178,7 @@ fn blocked_pe_preserves_priority_order() {
         }),
     );
     {
-        let Simulation { sim, machine } = &mut sim;
+        let Simulation { sim, machine, .. } = &mut sim;
         machine.inject(sim, c, Envelope::empty(E_GO));
         // These arrive while the PE is blocked on the 1ms kernel.
         machine.inject(sim, c, Envelope::empty(EntryId(10)));
@@ -212,7 +212,7 @@ fn load_accounting_tracks_charged_time() {
         }),
     );
     {
-        let Simulation { sim, machine } = &mut sim;
+        let Simulation { sim, machine, .. } = &mut sim;
         for _ in 0..3 {
             machine.inject(sim, light, Envelope::empty(E_GO));
             machine.inject(sim, heavy, Envelope::empty(E_GO));

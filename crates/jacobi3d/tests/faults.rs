@@ -77,7 +77,7 @@ fn lossy_without_retries_fails_to_complete() {
     let cfg = faulty_cfg(CommMode::HostStaging, 0.05, false);
     let (mut sim, ids, _sh) = charm::build(cfg);
     {
-        let Simulation { sim, machine } = &mut sim;
+        let Simulation { sim, machine, .. } = &mut sim;
         machine.broadcast(sim, &ids, charm::E_START, 0);
     }
     sim.run();

@@ -201,7 +201,7 @@ where
 
 /// Convenience: start every rank by injecting `entry` at time zero.
 pub fn start_all(sim: &mut Simulation, ranks: &[ChareId], entry: EntryId) {
-    let Simulation { sim, machine } = sim;
+    let Simulation { sim, machine, .. } = sim;
     for &r in ranks {
         machine.inject(sim, r, Envelope::empty(entry));
     }

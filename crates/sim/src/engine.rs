@@ -48,11 +48,13 @@
 //! wheel minimum on every advance, so far-future events that have
 //! drifted inside the horizon still fire at the right instant.
 //!
-//! The engine is deliberately single-threaded: determinism and
+//! One `Sim` is deliberately single-threaded: determinism and
 //! reproducibility of the *simulated* machine matter far more here than
 //! wall-clock parallelism of one run. Parallelism lives one level up, in
-//! the benchmark harness, which runs many independent simulations on a
-//! thread pool.
+//! [`crate::shard`], which runs one engine per worker thread under a
+//! conservative time-windowed protocol with a deterministic cross-shard
+//! merge — and in the benchmark harness, which runs many independent
+//! simulations concurrently.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -97,7 +99,11 @@ impl EventId {
 }
 
 /// Boxed event closure over the world type `W`.
-pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+///
+/// The closure is `Send` so a whole `Sim` (and the world it drives) can be
+/// handed to another host thread — the property the sharded parallel
+/// driver ([`crate::shard`]) relies on to run one engine per worker.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>) + Send>;
 
 /// What runs when an event fires. `Call0/1/2` are the closure-free fast
 /// path: a bare `fn` pointer plus payload words, stored inline.
@@ -268,6 +274,16 @@ impl<W> Sim<W> {
         self.peak_pending
     }
 
+    /// Snapshot of this engine's counters, in the mergeable form the
+    /// sharded driver aggregates across shards.
+    pub fn stats(&self) -> crate::stats::SimStats {
+        crate::stats::SimStats {
+            events_executed: self.executed,
+            pending: self.live as u64,
+            peak_pending: self.peak_pending as u64,
+        }
+    }
+
     // ----- slab -----
 
     #[inline]
@@ -340,7 +356,11 @@ impl<W> Sim<W> {
     /// Schedule `f` to run at absolute time `at`. Times in the past are
     /// clamped to "now" (the event still runs, after already-queued events
     /// at the current instant).
-    pub fn at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) -> EventId {
+    pub fn at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut W, &mut Sim<W>) + Send + 'static,
+    ) -> EventId {
         self.schedule(at, EventKind::Closure(Box::new(f)))
     }
 
@@ -348,14 +368,14 @@ impl<W> Sim<W> {
     pub fn after(
         &mut self,
         delay: SimDuration,
-        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+        f: impl FnOnce(&mut W, &mut Sim<W>) + Send + 'static,
     ) -> EventId {
         self.at(self.now + delay, f)
     }
 
     /// Schedule `f` at the current instant, after all events already queued
     /// for this instant.
-    pub fn soon(&mut self, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) -> EventId {
+    pub fn soon(&mut self, f: impl FnOnce(&mut W, &mut Sim<W>) + Send + 'static) -> EventId {
         self.at(self.now, f)
     }
 

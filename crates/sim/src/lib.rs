@@ -25,6 +25,7 @@
 pub mod engine;
 pub mod fault;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -32,6 +33,7 @@ pub mod trace;
 pub use engine::{EventFn, EventId, RunOutcome, Sim};
 pub use fault::{FaultPlan, LinkFault, LinkFaultKind, MsgFate, PeFault, StragglerWindow};
 pub use rng::{mix64, SimRng};
-pub use stats::{Accumulator, BusyTracker, IterationTimer, LogHistogram};
+pub use shard::{Shard, ShardWorld, ShardedSim};
+pub use stats::{Accumulator, BusyTracker, IterationTimer, LogHistogram, SimStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Span, SpanStats, Tracer};

@@ -1,0 +1,557 @@
+//! Conservative time-windowed parallel DES across shards.
+//!
+//! A sharded run partitions the simulated world into `N` shards, each
+//! owning a disjoint slice of the model's state and its own [`Sim`]
+//! engine. Shards advance concurrently — one host thread per shard —
+//! through a sequence of *windows* of width equal to the **lookahead**
+//! `L`: the model-guaranteed minimum latency of any cross-shard
+//! interaction. Within a window no shard can influence another, so each
+//! engine runs its slab-arena/calendar-queue loop completely unsynchronized;
+//! at the window barrier, the messages every shard produced for its peers
+//! are exchanged through per-pair staging buffers and drained into the
+//! destination engines in a deterministic order (sorted by
+//! `(time, src, token)`), making the whole run bit-identical for any
+//! worker count and any thread interleaving.
+//!
+//! # Protocol
+//!
+//! Each round (all shards in lockstep, two barriers per round):
+//!
+//! 1. every shard publishes the timestamp of its next pending event;
+//! 2. **barrier** — every shard independently computes the global minimum
+//!    `T`; if no shard has work, the run is over;
+//! 3. every shard executes its local events in `[T, T + L)` (the engine's
+//!    `run_until(T + L - 1ns)`), appending any cross-shard messages to
+//!    the staging buffer of the `(src, dst)` pair;
+//! 4. **barrier** — every shard drains the staging column addressed to
+//!    it, sorts by the message key, and hands each message to the world's
+//!    [`ShardWorld::deliver`], which schedules the corresponding local
+//!    event (necessarily at `>= T + L`, which the driver asserts).
+//!
+//! Correctness of the conservative window: a message emitted at `t_s ∈
+//! [T, T+L)` carries a delivery time `t_d >= t_s + L >= T + L`, so it can
+//! never land inside the window that produced it — no shard ever executes
+//! an event that a not-yet-exchanged message should have preceded.
+//!
+//! Determinism: shard-local execution is the sequential engine
+//! (bit-deterministic on its own), staging buffers are per-`(src, dst)`
+//! pair so there are no cross-thread append races to order, and the drain
+//! sorts by a total key — so thread scheduling can change nothing
+//! observable. Worker-count invariance is a property the *world* supplies
+//! on top: shard state must be disjoint (interaction only through
+//! messages) and message keys must not depend on the partition.
+//!
+//! `workers == 1` takes the exact single-engine fast path: `run()`
+//! degenerates to `Sim::run` with no windows, no barriers, and no staging
+//! in the hot loop.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::engine::{RunOutcome, Sim};
+use crate::stats::SimStats;
+use crate::time::{SimDuration, SimTime};
+
+/// A world type that can be split into shards for windowed parallel
+/// execution.
+///
+/// One value of the implementing type is *one shard*: it holds only its
+/// slice of the model plus the staging outbox for messages addressed to
+/// other shards. All cross-shard interaction must flow through
+/// [`ShardWorld::deliver`]; shards must share no mutable state.
+pub trait ShardWorld: Send + Sized + 'static {
+    /// A message crossing a shard boundary. Plain data; must carry its
+    /// delivery time and enough identity for a total ordering.
+    type Msg: Send;
+
+    /// Destination shard of a staged message.
+    fn msg_dest(msg: &Self::Msg) -> usize;
+
+    /// Deterministic merge key: `(delivery time, source rank, token)`.
+    /// Must be unique per message and independent of the partition (use
+    /// model-level identities — source PE, per-source sequence — not
+    /// shard indices).
+    fn msg_key(msg: &Self::Msg) -> (SimTime, u64, u64);
+
+    /// Move the messages this shard produced for other shards during the
+    /// last window out of the world, appending them to `out`.
+    fn drain_outbox(&mut self, out: &mut Vec<Self::Msg>);
+
+    /// Hand a staged message to this (destination) shard at a window
+    /// barrier. Typically schedules a local event at the message's
+    /// delivery time, which the driver guarantees has not yet been
+    /// reached by this shard's clock.
+    fn deliver(&mut self, sim: &mut Sim<Self>, msg: Self::Msg);
+}
+
+/// One shard: its world slice and its engine.
+pub struct Shard<W: ShardWorld> {
+    /// The shard's engine.
+    pub sim: Sim<W>,
+    /// The shard's slice of the world.
+    pub world: W,
+}
+
+/// Driver for a conservatively windowed, multi-threaded sharded run.
+pub struct ShardedSim<W: ShardWorld> {
+    shards: Vec<Shard<W>>,
+    lookahead: SimDuration,
+    /// Windows executed by the last `run()` (1 window per barrier round;
+    /// 0 for the single-shard fast path).
+    windows: u64,
+    /// Cross-shard messages exchanged by the last `run()`.
+    exchanged: u64,
+}
+
+/// Internal: encode an optional next-event time as a u64 for the shared
+/// publication slots (`u64::MAX` = shard has nothing pending).
+const IDLE: u64 = u64::MAX;
+
+/// Internal: global run status codes shared across workers.
+const ST_RUNNING: u8 = 0;
+const ST_STOPPED: u8 = 1;
+const ST_LIMIT: u8 = 2;
+
+impl<W: ShardWorld> ShardedSim<W> {
+    /// Build a driver over pre-partitioned shards. `lookahead` is the
+    /// model's minimum cross-shard latency; it must be at least 1 ns.
+    pub fn new(shards: Vec<Shard<W>>, lookahead: SimDuration) -> Self {
+        assert!(!shards.is_empty(), "at least one shard");
+        assert!(lookahead.as_ns() >= 1, "lookahead must be positive");
+        ShardedSim {
+            shards,
+            lookahead,
+            windows: 0,
+            exchanged: 0,
+        }
+    }
+
+    /// Number of shards (= worker threads in a parallel run).
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative window width.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Windows executed by the last [`ShardedSim::run`].
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Cross-shard messages exchanged by the last [`ShardedSim::run`].
+    pub fn exchanged(&self) -> u64 {
+        self.exchanged
+    }
+
+    /// Shared access to the shards (e.g. to collect final world state).
+    pub fn shards(&self) -> &[Shard<W>] {
+        &self.shards
+    }
+
+    /// Mutable access to the shards (setup: scheduling initial events).
+    pub fn shards_mut(&mut self) -> &mut [Shard<W>] {
+        &mut self.shards
+    }
+
+    /// Consume the driver, returning the shards.
+    pub fn into_shards(self) -> Vec<Shard<W>> {
+        self.shards
+    }
+
+    /// Total live pending events across every shard.
+    ///
+    /// A single engine's `pending()` answers for its own arena only; in a
+    /// sharded run the observable quantity is this sum.
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.sim.pending()).sum()
+    }
+
+    /// Total events executed across every shard.
+    pub fn events_executed(&self) -> u64 {
+        self.shards.iter().map(|s| s.sim.events_executed()).sum()
+    }
+
+    /// Merged engine counters across every shard (associative fold of
+    /// per-shard [`SimStats`]).
+    pub fn stats(&self) -> SimStats {
+        let mut agg = SimStats::default();
+        for s in &self.shards {
+            agg.merge(&s.sim.stats());
+        }
+        agg
+    }
+
+    /// Latest simulated time reached by any shard.
+    pub fn now(&self) -> SimTime {
+        self.shards
+            .iter()
+            .map(|s| s.sim.now())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Run to completion. One shard runs the plain sequential engine
+    /// loop; `N > 1` shards run the windowed protocol on `N` host
+    /// threads.
+    pub fn run(&mut self) -> RunOutcome {
+        self.windows = 0;
+        self.exchanged = 0;
+        if self.shards.len() == 1 {
+            let s = &mut self.shards[0];
+            return s.sim.run(&mut s.world);
+        }
+        self.run_parallel()
+    }
+
+    fn run_parallel(&mut self) -> RunOutcome {
+        let n = self.shards.len();
+        let lookahead = self.lookahead;
+        // Published next-event time per shard, refreshed at the top of
+        // every round (after the previous round's deliveries landed).
+        let next: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        // Per-(src, dst) staging buffers. Only `src`'s thread appends to
+        // row `src` during a window; only `dst`'s thread drains column
+        // `dst` after the barrier — the mutexes are uncontended and exist
+        // to satisfy shared-access rules, not to order anything.
+        let staging: Vec<Vec<Mutex<Vec<W::Msg>>>> = (0..n)
+            .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+        let barrier = Barrier::new(n);
+        let status = AtomicU8::new(ST_RUNNING);
+        let windows = AtomicU64::new(0);
+        let exchanged = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                let next = &next;
+                let staging = &staging;
+                let barrier = &barrier;
+                let status = &status;
+                let windows = &windows;
+                let exchanged = &exchanged;
+                handles.push(scope.spawn(move || {
+                    let mut outbox: Vec<W::Msg> = Vec::new();
+                    let mut inbox: Vec<W::Msg> = Vec::new();
+                    loop {
+                        // (1) publish my next event time.
+                        let mine = shard.sim.peek_time().map(|t| t.as_ns()).unwrap_or(IDLE);
+                        next[i].store(mine, Ordering::Release);
+                        barrier.wait();
+                        if status.load(Ordering::Acquire) != ST_RUNNING {
+                            return;
+                        }
+                        // (2) everyone computes the same window start.
+                        let t0 = next
+                            .iter()
+                            .map(|a| a.load(Ordering::Acquire))
+                            .min()
+                            .expect("n >= 1");
+                        if t0 == IDLE {
+                            return; // drained everywhere, nothing staged
+                        }
+                        if i == 0 {
+                            windows.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // (3) run my events in [t0, t0 + L).
+                        let deadline = SimTime::from_ns(t0) + lookahead - SimDuration::from_ns(1);
+                        match shard.sim.run_until(&mut shard.world, deadline) {
+                            RunOutcome::Drained => {}
+                            RunOutcome::Stopped => {
+                                status.store(ST_STOPPED, Ordering::Release);
+                            }
+                            RunOutcome::EventLimit => {
+                                status.store(ST_LIMIT, Ordering::Release);
+                            }
+                        }
+                        shard.world.drain_outbox(&mut outbox);
+                        if !outbox.is_empty() {
+                            exchanged.fetch_add(outbox.len() as u64, Ordering::Relaxed);
+                        }
+                        for msg in outbox.drain(..) {
+                            let dst = W::msg_dest(&msg);
+                            debug_assert!(dst < n && dst != i, "outbox must be cross-shard");
+                            staging[i][dst].lock().unwrap().push(msg);
+                        }
+                        // (4) barrier, then drain my column deterministically.
+                        barrier.wait();
+                        inbox.clear();
+                        for row in staging.iter() {
+                            inbox.append(&mut row[i].lock().unwrap());
+                        }
+                        inbox.sort_by_key(|m| W::msg_key(m));
+                        for msg in inbox.drain(..) {
+                            let (at, _, _) = W::msg_key(&msg);
+                            assert!(
+                                at > deadline,
+                                "lookahead violation: staged message at {at} inside \
+                                 the window ending at {deadline}"
+                            );
+                            shard.world.deliver(&mut shard.sim, msg);
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("shard worker panicked");
+            }
+        });
+
+        self.windows = windows.load(Ordering::Relaxed);
+        self.exchanged = exchanged.load(Ordering::Relaxed);
+        match status.load(Ordering::Acquire) {
+            ST_STOPPED => RunOutcome::Stopped,
+            ST_LIMIT => RunOutcome::EventLimit,
+            _ => RunOutcome::Drained,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::mix64;
+
+    /// Test world: `cells` independent little state machines spread
+    /// across shards. Each cell runs a local event chain (hash-driven
+    /// delays) and periodically mails a token to the next cell in a ring
+    /// with a delay of at least the lookahead, so a multi-shard run
+    /// exercises the window protocol on every partition. A cell keeps two
+    /// accumulators: a *chain* hash folded over its own strictly-ordered
+    /// step events, and an *additive* accumulator folded commutatively
+    /// over arrivals — so a same-nanosecond tie between an arrival and a
+    /// step (whose relative `seq` order legitimately differs between a
+    /// sequential and a windowed run) cannot change the fingerprint. The
+    /// run fingerprint folds per-cell values commutatively, so it is
+    /// independent of the partition by construction; the tests check the
+    /// driver delivers every message at its exact modeled time with its
+    /// exact identity.
+    struct GridShard {
+        shard: usize,
+        /// Partition: cell id -> shard index.
+        cell_shard: Vec<usize>,
+        /// Per LOCAL cell, keyed by cell id.
+        state: std::collections::HashMap<u64, Cell>,
+        outbox: Vec<GridMsg>,
+        lookahead_ns: u64,
+        cells: u64,
+    }
+
+    #[derive(Default)]
+    struct Cell {
+        /// Order-sensitive fold over this cell's own step chain.
+        chain: u64,
+        /// Commutative fold over arrivals (delivery time + token).
+        acc: u64,
+        /// Messages sent so far (also the per-source token sequence).
+        sent: u32,
+    }
+
+    struct GridMsg {
+        at: SimTime,
+        src_cell: u64,
+        dst_cell: u64,
+        dst_shard: usize,
+        token: u64,
+    }
+
+    const CHAIN: u32 = 60;
+
+    impl GridShard {
+        fn delay(cell: u64, step: u32) -> u64 {
+            100 + mix64(cell ^ ((step as u64) << 32)) % 1200
+        }
+
+        fn cell_step(w: &mut Self, sim: &mut Sim<Self>, cell: u64, step: u64) {
+            let step = step as u32;
+            let now = sim.now();
+            let c = w.state.get_mut(&cell).expect("local cell");
+            c.chain = mix64(c.chain ^ now.as_ns() ^ cell);
+            if step >= CHAIN {
+                return;
+            }
+            // Every 7th step mails the next cell in the ring, with a
+            // delay of at least the lookahead so the window protocol's
+            // conservative invariant holds for every such message.
+            if step % 7 == 3 {
+                let dst_cell = (cell + 1) % w.cells;
+                let token = cell << 32 | c.sent as u64;
+                c.sent += 1;
+                let at = now + SimDuration::from_ns(w.lookahead_ns + mix64(token) % 2000);
+                let msg = GridMsg {
+                    at,
+                    src_cell: cell,
+                    dst_cell,
+                    dst_shard: w.cell_shard[dst_cell as usize],
+                    token,
+                };
+                if msg.dst_shard == w.shard {
+                    // Same shard: schedule directly, the same code path
+                    // the barrier drain uses for cross-shard messages.
+                    Self::schedule_arrival(sim, msg);
+                } else {
+                    w.outbox.push(msg);
+                }
+            }
+            let d = Self::delay(cell, step);
+            sim.after_call2(
+                SimDuration::from_ns(d),
+                Self::cell_step,
+                cell,
+                (step + 1) as u64,
+            );
+        }
+
+        fn schedule_arrival(sim: &mut Sim<Self>, msg: GridMsg) {
+            sim.at_call2(msg.at, Self::cell_arrive, msg.dst_cell, msg.token);
+        }
+
+        fn cell_arrive(w: &mut Self, sim: &mut Sim<Self>, cell: u64, token: u64) {
+            let at = sim.now().as_ns();
+            let c = w.state.get_mut(&cell).expect("local cell");
+            c.acc = c.acc.wrapping_add(mix64(token.wrapping_mul(3) ^ at));
+        }
+    }
+
+    impl ShardWorld for GridShard {
+        type Msg = GridMsg;
+
+        fn msg_dest(msg: &GridMsg) -> usize {
+            msg.dst_shard
+        }
+
+        fn msg_key(msg: &GridMsg) -> (SimTime, u64, u64) {
+            (msg.at, msg.src_cell, msg.token)
+        }
+
+        fn drain_outbox(&mut self, out: &mut Vec<GridMsg>) {
+            out.append(&mut self.outbox);
+        }
+
+        fn deliver(&mut self, sim: &mut Sim<Self>, msg: GridMsg) {
+            Self::schedule_arrival(sim, msg);
+        }
+    }
+
+    fn build(cells: u64, partition: &[usize], lookahead_ns: u64) -> ShardedSim<GridShard> {
+        let nshards = partition.iter().copied().max().unwrap_or(0) + 1;
+        let mut shards: Vec<Shard<GridShard>> = (0..nshards)
+            .map(|s| Shard {
+                sim: Sim::new(),
+                world: GridShard {
+                    shard: s,
+                    cell_shard: partition.to_vec(),
+                    state: Default::default(),
+                    outbox: Vec::new(),
+                    lookahead_ns,
+                    cells,
+                },
+            })
+            .collect();
+        for cell in 0..cells {
+            let s = partition[cell as usize];
+            let shard = &mut shards[s];
+            shard.world.state.insert(cell, Cell::default());
+            // Stagger starts so shards' first events differ.
+            let t0 = SimTime::from_ns(mix64(cell ^ 0xfeed) % 500);
+            shard.sim.at_call2(t0, GridShard::cell_step, cell, 0);
+        }
+        ShardedSim::new(shards, SimDuration::from_ns(lookahead_ns))
+    }
+
+    fn fingerprint(sharded: &ShardedSim<GridShard>) -> u64 {
+        // Commutative fold over cells: partition-independent by design.
+        let mut acc = 0u64;
+        for s in sharded.shards() {
+            for (&cell, c) in &s.world.state {
+                acc = acc.wrapping_add(
+                    mix64(c.chain ^ cell)
+                        .wrapping_add(c.acc)
+                        .wrapping_add(c.sent as u64),
+                );
+            }
+        }
+        acc
+    }
+
+    fn contiguous_partition(cells: u64, shards: usize) -> Vec<usize> {
+        (0..cells as usize)
+            .map(|c| c * shards / cells as usize)
+            .collect()
+    }
+
+    #[test]
+    fn worker_counts_give_identical_fingerprints() {
+        let cells = 24;
+        let la = 4096;
+        let mut base = build(cells, &contiguous_partition(cells, 1), la);
+        assert_eq!(base.run(), RunOutcome::Drained);
+        let want = fingerprint(&base);
+        let want_events = base.events_executed();
+        for workers in [2usize, 3, 4] {
+            let mut s = build(cells, &contiguous_partition(cells, workers), la);
+            assert_eq!(s.run(), RunOutcome::Drained);
+            assert_eq!(fingerprint(&s), want, "workers={workers}");
+            assert_eq!(s.events_executed(), want_events, "workers={workers}");
+            assert!(s.windows() > 0, "parallel run must use windows");
+            assert!(s.exchanged() > 0, "ring traffic must cross shards");
+        }
+    }
+
+    #[test]
+    fn random_partitions_give_identical_fingerprints() {
+        let cells = 24;
+        let la = 4096;
+        let mut base = build(cells, &contiguous_partition(cells, 1), la);
+        assert_eq!(base.run(), RunOutcome::Drained);
+        let want = fingerprint(&base);
+        for seed in 0..6u64 {
+            let raw: Vec<usize> = (0..cells)
+                .map(|c| (mix64(c ^ seed.wrapping_mul(0x9e37)) % 4) as usize)
+                .collect();
+            // Normalize shard ids to a dense 0..n range.
+            let mut ids = raw.clone();
+            ids.sort_unstable();
+            ids.dedup();
+            let partition: Vec<usize> = raw
+                .iter()
+                .map(|p| ids.iter().position(|x| x == p).unwrap())
+                .collect();
+            let mut s = build(cells, &partition, la);
+            assert_eq!(s.run(), RunOutcome::Drained);
+            assert_eq!(fingerprint(&s), want, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn sharded_stats_aggregate() {
+        let cells = 24;
+        let mut s = build(cells, &contiguous_partition(cells, 3), 4096);
+        assert_eq!(s.run(), RunOutcome::Drained);
+        let agg = s.stats();
+        assert_eq!(agg.events_executed, s.events_executed());
+        assert_eq!(
+            agg.events_executed,
+            s.shards()
+                .iter()
+                .map(|sh| sh.sim.events_executed())
+                .sum::<u64>()
+        );
+        assert_eq!(s.pending(), 0);
+        assert_eq!(agg.pending, 0);
+        assert!(agg.peak_pending >= 1);
+    }
+
+    #[test]
+    fn single_shard_fast_path_is_plain_run() {
+        let cells = 8;
+        let mut s = build(cells, &contiguous_partition(cells, 1), 4096);
+        assert_eq!(s.run(), RunOutcome::Drained);
+        assert_eq!(s.windows(), 0, "fast path uses no windows");
+        assert_eq!(s.exchanged(), 0);
+        assert!(s.shards()[0].sim.quiesced());
+    }
+}

@@ -346,7 +346,7 @@ fn set_channel(m: &mut gaat_rt::Machine, id: ChareId, f: Face, end: ChannelEnd) 
 /// Run to completion and collect results.
 pub fn run(sim: &mut Simulation, ids: &[ChareId], sh: &SweepShared) -> SweepResult {
     {
-        let Simulation { sim, machine } = sim;
+        let Simulation { sim, machine, .. } = sim;
         machine.broadcast(sim, ids, E_START, 0);
     }
     assert_eq!(sim.run(), RunOutcome::Drained, "sweep should quiesce");

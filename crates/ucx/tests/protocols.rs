@@ -118,7 +118,7 @@ impl UcxHost for World {
     }
 }
 
-fn run(w: &mut World, setup: impl FnOnce(&mut World, &mut Sim<World>) + 'static) -> SimTime {
+fn run(w: &mut World, setup: impl FnOnce(&mut World, &mut Sim<World>) + Send + 'static) -> SimTime {
     let mut sim: Sim<World> = Sim::new().with_event_limit(1_000_000);
     sim.soon(setup);
     assert_eq!(sim.run(w), gaat_sim::RunOutcome::Drained);

@@ -90,7 +90,9 @@ fn take_checkpoint(sim: &mut Simulation, ids: &[ChareId]) -> Checkpoint {
 
 fn run_until_quiescent(sim: &mut Simulation, ids: &[ChareId], target: u32) -> SimTime {
     {
-        let Simulation { sim: s, machine } = sim;
+        let Simulation {
+            sim: s, machine, ..
+        } = sim;
         for &id in ids {
             let w = machine
                 .chare_for_setup(id)

@@ -69,7 +69,7 @@ impl Chare for Worker {
 fn run_phase(sim: &mut Simulation, ids: &[ChareId], reps: u32) -> SimDuration {
     let start = sim.now();
     {
-        let Simulation { sim, machine } = sim;
+        let Simulation { sim, machine, .. } = sim;
         for &id in ids {
             let w = machine
                 .chare_for_setup(id)

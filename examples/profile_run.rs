@@ -14,7 +14,9 @@
 //!
 //! Pass `--trace-out PATH` to also write the merged timeline (PE lanes,
 //! GPU engine lanes, fabric link lanes) as Chrome `trace_event` JSON for
-//! chrome://tracing or <https://ui.perfetto.dev>.
+//! chrome://tracing or <https://ui.perfetto.dev>. Pass `--workers N` to
+//! run the simulation itself in N-shard windowed parallel DES mode —
+//! the profile is bit-identical to the single-threaded run.
 
 use gaat::jacobi3d::{charm, CommMode, Dims, JacobiConfig};
 use gaat::rt::MachineConfig;
@@ -51,12 +53,40 @@ fn drop_rate() -> Option<f64> {
     None
 }
 
+/// `--workers N` runs the simulation in N-shard windowed parallel DES
+/// mode (default 1 = plain single-threaded engine). Results are
+/// bit-identical for every worker count.
+fn workers() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--workers" {
+            let n = args.next().expect("--workers requires a count");
+            return n.parse().expect("parse worker count");
+        }
+        if let Some(n) = arg.strip_prefix("--workers=") {
+            return n.parse().expect("parse worker count");
+        }
+    }
+    1
+}
+
 fn main() {
     let trace_out = trace_out_path();
     let drop = drop_rate();
+    let workers = workers();
+    if workers > 1 && drop.is_some() {
+        eprintln!(
+            "error: fault plans (--drop) are not yet supported with --workers > 1; \
+             run the fault profile single-threaded"
+        );
+        std::process::exit(2);
+    }
     // Loss needs inter-node traffic to act on; the fault-free profile
     // keeps the paper's single-node Nsight setup.
-    let mut machine = MachineConfig::summit(if drop.is_some() { 2 } else { 1 });
+    // Sharding needs at least one node per worker (a node is the finest
+    // shardable unit), so multi-worker profiles widen the machine.
+    let mut machine = MachineConfig::summit((if drop.is_some() { 2 } else { 1 }).max(workers));
+    machine.workers = workers;
     machine.trace = true;
     if let Some(p) = drop {
         machine.faults = FaultPlan {

@@ -33,6 +33,14 @@ grep -q '"pass": true' /tmp/BENCH_net_smoke.json \
   || { echo "sanity_pin failed in BENCH_net_smoke.json" >&2; exit 1; }
 echo "topo smoke OK"
 
+echo "==> windowed parallel DES smoke (--workers 2)"
+# Replays the pinned goldens through the sharded windowed engine at
+# --workers 2 and 4 and requires bit-identical fingerprints against the
+# single-threaded recordings. (The engine smoke above additionally
+# asserts shard_churn fingerprints agree across 1/2/4 worker threads.)
+cargo test -q --release --test determinism worker_counts_replay_goldens_bit_identically
+echo "workers smoke OK"
+
 echo "==> fault-injection smoke"
 # Deterministic replay diff (same fault seed twice -> identical
 # fingerprints) + Jacobi3D bit-identical to the reference under 1%
