@@ -527,6 +527,10 @@ fn main() {
     // the critical path is the busiest shard, so total / max-shard
     // events is the speedup a host with >= 4 idle cores would approach.
     let parallel_speedup = eps(scaling.last().unwrap()) / eps(&scaling[0]);
+    // A wall-clock speedup measured with fewer physical cores than
+    // workers says nothing about the engine — on a 1-core host every
+    // point time-slices the same CPU and the "speedup" is noise.
+    let speedup_reliable = host_cores >= scaling.last().unwrap().workers;
     let critical_path_speedup =
         scaling.last().unwrap().events as f64 / scaling.last().unwrap().max_shard_events as f64;
 
@@ -587,6 +591,9 @@ fn main() {
         "    \"parallel_speedup\": {parallel_speedup:.3},\n"
     ));
     json.push_str(&format!(
+        "    \"parallel_speedup_reliable\": {speedup_reliable},\n"
+    ));
+    json.push_str(&format!(
         "    \"critical_path_speedup\": {critical_path_speedup:.3},\n"
     ));
     json.push_str(&format!(
@@ -625,8 +632,13 @@ fn main() {
     }
     println!(
         "thread scaling on {host_cores}-core host: measured {parallel_speedup:.2}x at {} workers, \
-         critical-path bound {critical_path_speedup:.2}x (identical fingerprints)",
-        scaling.last().unwrap().workers
+         critical-path bound {critical_path_speedup:.2}x (identical fingerprints){}",
+        scaling.last().unwrap().workers,
+        if speedup_reliable {
+            ""
+        } else {
+            "  ** fewer cores than workers — wall-clock speedup unreliable **"
+        }
     );
     println!(
         "steady-state drift {:.3}x{}",

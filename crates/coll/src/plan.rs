@@ -1,0 +1,694 @@
+//! Communication schedules for the collectives.
+//!
+//! A schedule is pure data: for every rank, a list of *lanes* (independent
+//! pipeline channels over disjoint element ranges), each a sequence of
+//! [`Step`]s. A step optionally receives a chunk from one peer, optionally
+//! reduces it into the local buffer, and optionally sends a chunk to one
+//! peer. Steps within a lane execute strictly in order; lanes progress
+//! independently, which is where chunk-level pipelining comes from: lane 1
+//! can be on the wire while lane 0's reduction kernel runs.
+//!
+//! Both endpoints of every transfer derive the same plan from the same
+//! global parameters, so chunk sizes always agree and zero-length
+//! transfers are skipped symmetrically (they complete virtually, without
+//! touching the network).
+
+/// Which collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollOp {
+    /// Every rank ends with the elementwise reduction of all inputs.
+    AllReduce,
+    /// Rank `r` ends with the reduced segment [`reduce_scatter_owner`]`(r)`.
+    ReduceScatter,
+    /// Every rank contributes its own segment; all end with the whole.
+    AllGather,
+    /// Rank 0's buffer is replicated everywhere.
+    Broadcast,
+    /// Personalized exchange: output block `q` = block sent by rank `q`.
+    AllToAll,
+}
+
+impl CollOp {
+    /// Short label for stats and benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            CollOp::AllReduce => "allreduce",
+            CollOp::ReduceScatter => "reduce_scatter",
+            CollOp::AllGather => "allgather",
+            CollOp::Broadcast => "broadcast",
+            CollOp::AllToAll => "alltoall",
+        }
+    }
+}
+
+/// Schedule family. Only allreduce has both; the other collectives use
+/// their canonical shape (ring for reduce-scatter/allgather, binomial
+/// tree for broadcast, pairwise linear shift for alltoall) regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Ring: `2(P-1)` bandwidth-optimal steps for allreduce.
+    Ring,
+    /// Binomial tree: `2·ceil(log2 P)` latency-optimal rounds.
+    Tree,
+}
+
+impl Algorithm {
+    /// Short label for stats and benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Ring => "ring",
+            Algorithm::Tree => "tree",
+        }
+    }
+}
+
+/// Mapping from collective rank to PE. With `ranks == pes` both are
+/// bijections; they differ in which *node* hosts which rank, which is
+/// what the congestion ablation measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankPlacement {
+    /// Node-major: consecutive ranks fill a node before the next (the
+    /// jacobi3d `Packed` convention). Ring neighbours are mostly
+    /// intra-node; skewed all-to-all traffic piles onto few nodes.
+    Packed,
+    /// Node-interleaved: rank `r` goes to node `r % nodes`. Ring hops all
+    /// cross the network; skewed traffic spreads across nodes.
+    RoundRobin,
+}
+
+impl RankPlacement {
+    /// Short label for benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RankPlacement::Packed => "packed",
+            RankPlacement::RoundRobin => "roundrobin",
+        }
+    }
+}
+
+/// PE hosting collective rank `r` out of `ranks`, on a machine of
+/// `nodes × pes_per_node` PEs. Requires `ranks <= nodes * pes_per_node`.
+pub fn place_rank(
+    rank: usize,
+    ranks: usize,
+    nodes: usize,
+    pes_per_node: usize,
+    placement: RankPlacement,
+) -> usize {
+    let pes = nodes * pes_per_node;
+    assert!(ranks >= 1 && ranks <= pes, "{ranks} ranks on {pes} PEs");
+    match placement {
+        // Same contiguous-block map as jacobi3d's chare_to_pe with
+        // one chare per PE slot.
+        RankPlacement::Packed => rank * pes / ranks,
+        RankPlacement::RoundRobin => (rank % nodes) * pes_per_node + rank / nodes,
+    }
+}
+
+/// One transfer endpoint: `len` elements at `offset` (data-buffer
+/// coordinates for sends, destination-buffer coordinates for receives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xfer {
+    /// Peer rank.
+    pub peer: usize,
+    /// Element offset in the relevant buffer.
+    pub offset: usize,
+    /// Element count. Zero-length transfers complete virtually.
+    pub len: usize,
+}
+
+/// One step of a lane's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// Incoming chunk, if any.
+    pub recv: Option<Xfer>,
+    /// Whether the incoming chunk reduces (`+=`) into the data buffer
+    /// (via a scratch landing area) or lands directly at its offset.
+    pub reduce: bool,
+    /// Outgoing chunk, if any (always read from the data buffer).
+    pub send: Option<Xfer>,
+}
+
+/// A device-local copy (alltoall's self-block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalCopy {
+    /// Source offset in the data buffer.
+    pub src: usize,
+    /// Destination offset in the output buffer.
+    pub dst: usize,
+    /// Element count.
+    pub len: usize,
+}
+
+/// One rank's schedule for one lane.
+#[derive(Debug, Clone, Default)]
+pub struct LaneSched {
+    /// Steps, executed strictly in order.
+    pub steps: Vec<Step>,
+}
+
+/// One rank's full schedule.
+#[derive(Debug, Clone, Default)]
+pub struct MemberPlan {
+    /// Independent pipeline lanes.
+    pub lanes: Vec<LaneSched>,
+    /// Device-local copies issued once at the start of the collective.
+    pub local: Vec<LocalCopy>,
+}
+
+/// A complete collective plan: every rank's schedule plus geometry.
+#[derive(Debug, Clone)]
+pub struct CollPlan {
+    /// The collective.
+    pub op: CollOp,
+    /// Schedule family used.
+    pub algorithm: Algorithm,
+    /// Participant count.
+    pub ranks: usize,
+    /// Data (input) buffer length per rank, in elements.
+    pub in_elems: Vec<usize>,
+    /// Output buffer length per rank; `0` means the collective is
+    /// in-place in the data buffer and no output buffer exists.
+    pub out_elems: Vec<usize>,
+    /// Per-rank schedules.
+    pub members: Vec<MemberPlan>,
+}
+
+/// Most lanes a plan will use; bounds per-member channel count.
+pub const MAX_LANES: usize = 16;
+
+/// Even split of `total` items into `parts`, remainder spread to the
+/// front: returns `(offset, len)` of part `i`.
+pub fn even_split(total: usize, parts: usize, i: usize) -> (usize, usize) {
+    debug_assert!(i < parts);
+    let q = total / parts;
+    let r = total % parts;
+    (i * q + i.min(r), q + usize::from(i < r))
+}
+
+/// Lane count for ring schedules: one wire transfer is a segment of a
+/// lane (≈ `count / (lanes · ranks)` elements), so this picks the lane
+/// count that brings segments down to `chunk` elements, capped.
+pub fn ring_lanes(count: usize, ranks: usize, chunk: usize) -> usize {
+    assert!(chunk >= 1, "chunk must be positive");
+    count.div_ceil(ranks.max(1) * chunk).clamp(1, MAX_LANES)
+}
+
+/// Lane count for tree and pairwise schedules: one wire transfer is a
+/// whole lane slice of a block of `block` elements.
+pub fn tree_lanes(block: usize, chunk: usize) -> usize {
+    assert!(chunk >= 1, "chunk must be positive");
+    block.div_ceil(chunk).clamp(1, MAX_LANES)
+}
+
+/// The segment rank `r` owns after a ring reduce-scatter.
+pub fn reduce_scatter_owner(rank: usize, ranks: usize) -> usize {
+    (rank + 1) % ranks
+}
+
+fn xfer(peer: usize, range: (usize, usize)) -> Option<Xfer> {
+    Some(Xfer {
+        peer,
+        offset: range.0,
+        len: range.1,
+    })
+}
+
+/// Segment `j` of lane `l` of a ring schedule: the lane's even-split
+/// slice of `[0, count)`, itself even-split into `ranks` segments.
+fn ring_seg(count: usize, ranks: usize, lanes: usize, l: usize, j: usize) -> (usize, usize) {
+    let (lo, llen) = even_split(count, lanes, l);
+    let (o, len) = even_split(llen, ranks, j);
+    (lo + o, len)
+}
+
+/// Ring reduce-scatter steps for rank `r` (the first half of ring
+/// allreduce). After `P-1` steps rank `r` holds the fully reduced
+/// segment `(r+1) % P`, accumulated in ring order starting at its
+/// origin rank (see `reference::allreduce`).
+fn ring_rs_steps(count: usize, ranks: usize, lanes: usize, l: usize, r: usize) -> Vec<Step> {
+    let p = ranks;
+    let next = (r + 1) % p;
+    let prev = (r + p - 1) % p;
+    (0..p - 1)
+        .map(|s| {
+            let sj = (r + p - s) % p;
+            let rj = (r + 2 * p - s - 1) % p;
+            Step {
+                recv: xfer(prev, ring_seg(count, p, lanes, l, rj)),
+                reduce: true,
+                send: xfer(next, ring_seg(count, p, lanes, l, sj)),
+            }
+        })
+        .collect()
+}
+
+/// Ring allgather steps for rank `r`, parameterized by the segment each
+/// rank starts from (`start(r)`): plain allgather starts from segment
+/// `r`; the allgather phase of allreduce starts from `(r+1) % P`.
+fn ring_ag_steps(
+    count: usize,
+    ranks: usize,
+    lanes: usize,
+    l: usize,
+    r: usize,
+    start: impl Fn(usize) -> usize,
+) -> Vec<Step> {
+    let p = ranks;
+    let next = (r + 1) % p;
+    let prev = (r + p - 1) % p;
+    let my = start(r);
+    let pv = start(prev);
+    (0..p - 1)
+        .map(|s| {
+            let sj = (my + p - s) % p;
+            let rj = (pv + p - s) % p;
+            Step {
+                recv: xfer(prev, ring_seg(count, p, lanes, l, rj)),
+                reduce: false,
+                send: xfer(next, ring_seg(count, p, lanes, l, sj)),
+            }
+        })
+        .collect()
+}
+
+/// Number of binomial-tree levels covering `ranks`.
+fn tree_levels(ranks: usize) -> usize {
+    let mut d = 0;
+    while (1usize << d) < ranks {
+        d += 1;
+    }
+    d
+}
+
+/// Binomial-tree reduce steps toward root 0 over one lane range.
+/// Returns the steps and the level at which `r` sent to its parent
+/// (`None` for the root).
+fn tree_reduce_steps(r: usize, ranks: usize, range: (usize, usize)) -> (Vec<Step>, Option<usize>) {
+    let mut steps = Vec::new();
+    let mut d = 0;
+    while (1usize << d) < ranks {
+        let mask = (1usize << (d + 1)) - 1;
+        if r & mask == 0 {
+            let child = r + (1 << d);
+            if child < ranks {
+                steps.push(Step {
+                    recv: xfer(child, range),
+                    reduce: true,
+                    send: None,
+                });
+            }
+        } else {
+            // r's low bit below d+1 is exactly 1<<d: send and retire.
+            debug_assert_eq!(r & mask, 1 << d);
+            steps.push(Step {
+                recv: None,
+                reduce: false,
+                send: xfer(r - (1 << d), range),
+            });
+            return (steps, Some(d));
+        }
+        d += 1;
+    }
+    (steps, None)
+}
+
+/// Binomial-tree broadcast steps from root 0 over one lane range.
+/// `limit` is the level below which `r` has children (its reduce-phase
+/// send level, or the full level count for the root).
+fn tree_bcast_steps(r: usize, ranks: usize, range: (usize, usize)) -> Vec<Step> {
+    let mut steps = Vec::new();
+    let limit = if r == 0 {
+        tree_levels(ranks)
+    } else {
+        let d = r.trailing_zeros() as usize;
+        steps.push(Step {
+            recv: xfer(r - (1 << d), range),
+            reduce: false,
+            send: None,
+        });
+        d
+    };
+    for d in (0..limit).rev() {
+        let child = r + (1 << d);
+        if child < ranks {
+            steps.push(Step {
+                recv: None,
+                reduce: false,
+                send: xfer(child, range),
+            });
+        }
+    }
+    steps
+}
+
+/// Build the plan for a uniform collective.
+///
+/// `count` semantics: elements per rank for allreduce, reduce-scatter
+/// (input size) and broadcast; *total* gathered elements for allgather
+/// (rank `r` contributes segment `r`); elements **per destination
+/// block** for alltoall (each rank sends `count` to every rank,
+/// including itself via a device-local copy).
+pub fn plan(
+    op: CollOp,
+    algorithm: Algorithm,
+    ranks: usize,
+    count: usize,
+    chunk: usize,
+) -> CollPlan {
+    assert!(ranks >= 1, "at least one rank");
+    match op {
+        CollOp::AllReduce => match algorithm {
+            Algorithm::Ring => ring_plan(op, ranks, count, chunk, true, true),
+            Algorithm::Tree => tree_allreduce_plan(ranks, count, chunk),
+        },
+        CollOp::ReduceScatter => ring_plan(op, ranks, count, chunk, true, false),
+        CollOp::AllGather => ring_plan(op, ranks, count, chunk, false, true),
+        CollOp::Broadcast => broadcast_plan(ranks, count, chunk),
+        CollOp::AllToAll => {
+            let counts = vec![vec![count; ranks]; ranks];
+            let mut p = alltoallv_plan(&counts, chunk);
+            p.op = CollOp::AllToAll;
+            p
+        }
+    }
+}
+
+fn ring_plan(op: CollOp, ranks: usize, count: usize, chunk: usize, rs: bool, ag: bool) -> CollPlan {
+    let lanes = ring_lanes(count, ranks, chunk);
+    let members = (0..ranks)
+        .map(|r| MemberPlan {
+            lanes: (0..lanes)
+                .map(|l| {
+                    let mut steps = Vec::new();
+                    if ranks > 1 {
+                        if rs {
+                            steps.extend(ring_rs_steps(count, ranks, lanes, l, r));
+                        }
+                        if ag {
+                            // Plain allgather starts from segment r; the
+                            // allgather phase of allreduce starts from the
+                            // segment the reduce-scatter phase left behind.
+                            let off = usize::from(rs);
+                            steps.extend(ring_ag_steps(count, ranks, lanes, l, r, move |q| {
+                                (q + off) % ranks
+                            }));
+                        }
+                    }
+                    LaneSched { steps }
+                })
+                .collect(),
+            local: Vec::new(),
+        })
+        .collect();
+    CollPlan {
+        op,
+        algorithm: Algorithm::Ring,
+        ranks,
+        in_elems: vec![count; ranks],
+        out_elems: vec![0; ranks],
+        members,
+    }
+}
+
+fn tree_allreduce_plan(ranks: usize, count: usize, chunk: usize) -> CollPlan {
+    let lanes = tree_lanes(count, chunk);
+    let members = (0..ranks)
+        .map(|r| MemberPlan {
+            lanes: (0..lanes)
+                .map(|l| {
+                    let range = even_split(count, lanes, l);
+                    let (mut steps, _) = tree_reduce_steps(r, ranks, range);
+                    steps.extend(tree_bcast_steps(r, ranks, range));
+                    LaneSched { steps }
+                })
+                .collect(),
+            local: Vec::new(),
+        })
+        .collect();
+    CollPlan {
+        op: CollOp::AllReduce,
+        algorithm: Algorithm::Tree,
+        ranks,
+        in_elems: vec![count; ranks],
+        out_elems: vec![0; ranks],
+        members,
+    }
+}
+
+fn broadcast_plan(ranks: usize, count: usize, chunk: usize) -> CollPlan {
+    let lanes = tree_lanes(count, chunk);
+    let members = (0..ranks)
+        .map(|r| MemberPlan {
+            lanes: (0..lanes)
+                .map(|l| LaneSched {
+                    steps: tree_bcast_steps(r, ranks, even_split(count, lanes, l)),
+                })
+                .collect(),
+            local: Vec::new(),
+        })
+        .collect();
+    CollPlan {
+        op: CollOp::Broadcast,
+        algorithm: Algorithm::Tree,
+        ranks,
+        in_elems: vec![count; ranks],
+        out_elems: vec![0; ranks],
+        members,
+    }
+}
+
+/// Build the plan for a personalized exchange with per-pair element
+/// counts: `counts[r][q]` elements travel from rank `r` to rank `q`.
+/// Send layout at rank `r`: blocks ordered by destination; receive
+/// layout: blocks ordered by source. The self-block moves with a
+/// device-local copy. This is the MoE dispatch/combine primitive.
+pub fn alltoallv_plan(counts: &[Vec<usize>], chunk: usize) -> CollPlan {
+    let ranks = counts.len();
+    assert!(ranks >= 1 && counts.iter().all(|row| row.len() == ranks));
+    let max_block = counts
+        .iter()
+        .flat_map(|row| row.iter().copied())
+        .max()
+        .unwrap_or(0);
+    let lanes = tree_lanes(max_block.max(1), chunk);
+    // Prefix sums: send offset of block q at rank r, recv offset of the
+    // block from source q at rank r.
+    let soff: Vec<Vec<usize>> = counts
+        .iter()
+        .map(|row| {
+            let mut o = 0;
+            row.iter()
+                .map(|&c| {
+                    let here = o;
+                    o += c;
+                    here
+                })
+                .collect()
+        })
+        .collect();
+    let roff: Vec<Vec<usize>> = (0..ranks)
+        .map(|r| {
+            let mut o = 0;
+            (0..ranks)
+                .map(|q| {
+                    let here = o;
+                    o += counts[q][r];
+                    here
+                })
+                .collect()
+        })
+        .collect();
+    let members = (0..ranks)
+        .map(|r| {
+            let lanes_sched = (0..lanes)
+                .map(|l| {
+                    let steps = (1..ranks)
+                        .map(|s| {
+                            let q = (r + s) % ranks;
+                            let src = (r + ranks - s) % ranks;
+                            let (so, sl) = even_split(counts[r][q], lanes, l);
+                            let (ro, rl) = even_split(counts[src][r], lanes, l);
+                            Step {
+                                recv: xfer(src, (roff[r][src] + ro, rl)),
+                                reduce: false,
+                                send: xfer(q, (soff[r][q] + so, sl)),
+                            }
+                        })
+                        .collect();
+                    LaneSched { steps }
+                })
+                .collect();
+            MemberPlan {
+                lanes: lanes_sched,
+                local: vec![LocalCopy {
+                    src: soff[r][r],
+                    dst: roff[r][r],
+                    len: counts[r][r],
+                }],
+            }
+        })
+        .collect();
+    CollPlan {
+        op: CollOp::AllToAll,
+        algorithm: Algorithm::Ring,
+        ranks,
+        in_elems: counts.iter().map(|row| row.iter().sum()).collect(),
+        out_elems: (0..ranks)
+            .map(|r| (0..ranks).map(|q| counts[q][r]).sum())
+            .collect(),
+        members,
+    }
+}
+
+/// Whether receives land in a separate output buffer (personalized
+/// exchanges) or in the data buffer (everything else).
+pub fn uses_out_buffer(op: CollOp) -> bool {
+    matches!(op, CollOp::AllToAll)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn even_split_covers_everything() {
+        for total in [0usize, 1, 5, 17, 64] {
+            for parts in [1usize, 2, 3, 7] {
+                let mut covered = 0;
+                for i in 0..parts {
+                    let (o, l) = even_split(total, parts, i);
+                    assert_eq!(o, covered);
+                    covered += l;
+                }
+                assert_eq!(covered, total);
+            }
+        }
+    }
+
+    /// Every send in a plan has exactly one matching recv of the same
+    /// length on the peer, in the same per-(lane, directed pair)
+    /// sequence position — the invariant channel matching relies on.
+    fn check_matching(p: &CollPlan) {
+        for l in 0..p.members[0].lanes.len() {
+            let mut sends: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+            let mut recvs: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+            for (r, m) in p.members.iter().enumerate() {
+                for st in &m.lanes[l].steps {
+                    if let Some(x) = st.send {
+                        if x.len > 0 {
+                            sends.entry((r, x.peer)).or_default().push(x.len);
+                        }
+                    }
+                    if let Some(x) = st.recv {
+                        if x.len > 0 {
+                            recvs.entry((x.peer, r)).or_default().push(x.len);
+                        }
+                    }
+                }
+            }
+            assert_eq!(sends, recvs, "lane {l} send/recv sequences must match");
+        }
+    }
+
+    #[test]
+    fn plans_have_matched_transfers() {
+        for ranks in [1usize, 2, 3, 5, 6, 8, 13] {
+            for op in [
+                CollOp::AllReduce,
+                CollOp::ReduceScatter,
+                CollOp::AllGather,
+                CollOp::Broadcast,
+                CollOp::AllToAll,
+            ] {
+                for alg in [Algorithm::Ring, Algorithm::Tree] {
+                    for count in [1usize, 7, 64] {
+                        check_matching(&plan(op, alg, ranks, count, 16));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_step_count() {
+        let p = plan(CollOp::AllReduce, Algorithm::Ring, 5, 100, 1000);
+        for m in &p.members {
+            assert_eq!(m.lanes.len(), 1);
+            assert_eq!(m.lanes[0].steps.len(), 2 * (5 - 1));
+        }
+    }
+
+    #[test]
+    fn lanes_scale_with_chunk() {
+        let p = plan(CollOp::AllReduce, Algorithm::Ring, 4, 4096, 128);
+        // segments of 4096/4 = 1024 come down to 128 via 8 lanes
+        assert_eq!(p.members[0].lanes.len(), 8);
+        let q = plan(CollOp::AllReduce, Algorithm::Ring, 4, 4096, 1 << 20);
+        assert_eq!(q.members[0].lanes.len(), 1);
+    }
+
+    #[test]
+    fn tree_is_log_depth() {
+        let p = plan(CollOp::AllReduce, Algorithm::Tree, 8, 64, 1 << 20);
+        // root: 3 recvs + 3 sends
+        assert_eq!(p.members[0].lanes[0].steps.len(), 6);
+        // leaf 7: 1 send + 1 recv
+        assert_eq!(p.members[7].lanes[0].steps.len(), 2);
+    }
+
+    #[test]
+    fn alltoallv_offsets_are_consistent() {
+        let counts = vec![vec![2, 0, 5], vec![1, 1, 1], vec![0, 4, 3]];
+        let p = alltoallv_plan(&counts, 4);
+        assert_eq!(p.in_elems, vec![7, 3, 7]);
+        assert_eq!(p.out_elems, vec![3, 5, 9]);
+        check_matching(&p);
+        // self copies
+        assert_eq!(p.members[0].local[0].len, 2);
+        assert_eq!(p.members[2].local[0].len, 3);
+    }
+
+    #[test]
+    fn single_rank_plans_are_trivial() {
+        for op in [
+            CollOp::AllReduce,
+            CollOp::ReduceScatter,
+            CollOp::AllGather,
+            CollOp::Broadcast,
+            CollOp::AllToAll,
+        ] {
+            let p = plan(op, Algorithm::Ring, 1, 8, 4);
+            for m in &p.members {
+                assert!(m.lanes.iter().all(|l| l.steps.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn placement_maps_are_bijective() {
+        for (nodes, ppn) in [(4usize, 6usize), (2, 3), (3, 4)] {
+            let pes = nodes * ppn;
+            for pl in [RankPlacement::Packed, RankPlacement::RoundRobin] {
+                let mut seen = vec![false; pes];
+                for r in 0..pes {
+                    let pe = place_rank(r, pes, nodes, ppn, pl);
+                    assert!(!seen[pe], "{pl:?} collides at pe {pe}");
+                    seen[pe] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundrobin_spreads_consecutive_ranks() {
+        // ranks 0..3 land on distinct nodes
+        let nodes = 4;
+        let ppn = 6;
+        let node_of = |r| place_rank(r, 24, nodes, ppn, RankPlacement::RoundRobin) / ppn;
+        assert_eq!((0..4).map(node_of).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        let packed_node = |r| place_rank(r, 24, nodes, ppn, RankPlacement::Packed) / ppn;
+        assert_eq!((0..4).map(packed_node).collect::<Vec<_>>(), vec![0; 4]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # gaat-dptrain — ML-traffic proxy applications
+//!
+//! Two workloads that put collective traffic (gaat-coll) under the same
+//! runtime, GPU model, and fabric as the paper's halo-exchange apps:
+//!
+//! - [`train`] — synchronous data-parallel training steps: a forward
+//!   kernel, backward kernels producing gradient *buckets* in reverse
+//!   order, each bucket's allreduce launched as soon as its gradient is
+//!   ready (DDP-style compute/communication overlap, with bucket-size
+//!   and overlap knobs), then an SGD update. Validated bit-identical
+//!   against a sequential scalar reference.
+//! - [`moe`] — an MoE-style dispatch/combine pair of variable alltoalls
+//!   with deterministically skewed expert routing, stressing placement
+//!   sensitivity under spine contention.
+
+#![warn(missing_docs)]
+
+pub mod moe;
+pub mod train;
+
+pub use moe::{
+    build_moe, moe_payload_bytes, run_moe, run_moe_app, validate_moe, MoeConfig, MoeResult,
+    MoeShared,
+};
+pub use train::{
+    build_train, run_train, validate_train, TrainConfig, TrainMode, TrainResult, TrainShared,
+};

@@ -70,10 +70,87 @@ fn workers() -> usize {
     1
 }
 
+/// `--collective {allreduce,alltoall}` profiles the gaat-coll proxy app
+/// instead of Jacobi3D: per-algorithm traffic counters (bytes, chunks,
+/// steps, reduced elements) plus the usual GPU-side kernel breakdown.
+fn collective() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--collective" {
+            return Some(args.next().expect("--collective requires an op"));
+        }
+        if let Some(op) = arg.strip_prefix("--collective=") {
+            return Some(op.to_string());
+        }
+    }
+    None
+}
+
+/// The `--collective` microbench: back-to-back collectives on two
+/// simulated nodes with tracing on, counters per algorithm.
+fn collective_profile(which: &str, workers: usize) {
+    use gaat::coll::{build, payload_bytes, run, Algorithm, CollAppConfig, CollOp};
+
+    let algorithms: Vec<(&str, CollOp, Algorithm)> = match which {
+        "allreduce" => vec![
+            ("ring", CollOp::AllReduce, Algorithm::Ring),
+            ("tree", CollOp::AllReduce, Algorithm::Tree),
+        ],
+        "alltoall" => vec![("pairwise", CollOp::AllToAll, Algorithm::Ring)],
+        other => {
+            eprintln!("error: unknown collective {other:?} (allreduce | alltoall)");
+            std::process::exit(2);
+        }
+    };
+    for (name, op, alg) in algorithms {
+        let mut machine = MachineConfig::summit(2.max(workers));
+        machine.workers = workers;
+        machine.trace = true;
+        let count = 1 << 20;
+        let mut cfg = CollAppConfig::new(machine, op, alg, count);
+        cfg.rounds = 4;
+        cfg.warmup = 1;
+        let ranks = cfg.effective_ranks();
+        let (mut sim, ids, sh) = build(cfg);
+        let res = run(&mut sim, &ids, &sh);
+        let bytes = payload_bytes(op, ranks, count);
+        println!("== {which} ({name}) on {ranks} ranks, {count} elements ==");
+        println!(
+            "  {} per round  ({:.2} GB/s bus bandwidth)",
+            res.time_per_round,
+            res.bus_bandwidth(op, ranks, bytes) / 1e9
+        );
+        println!(
+            "  counters: {} wire bytes, {} chunks, {} lane steps, {} elements reduced, {} rounds",
+            res.stats.bytes,
+            res.stats.chunks,
+            res.stats.steps,
+            res.stats.reduced_elems,
+            res.stats.rounds
+        );
+        println!("  GPU 0 time by kernel / transfer:");
+        for s in sim.machine.devices[0].tracer.summary() {
+            println!(
+                "    {:<10} {:<12} x{:<5} total {}",
+                s.category, s.label, s.count, s.total
+            );
+        }
+        println!();
+    }
+}
+
 fn main() {
     let trace_out = trace_out_path();
     let drop = drop_rate();
     let workers = workers();
+    if let Some(which) = collective() {
+        if drop.is_some() {
+            eprintln!("error: --drop is not supported with --collective");
+            std::process::exit(2);
+        }
+        collective_profile(&which, workers);
+        return;
+    }
     if workers > 1 && drop.is_some() {
         eprintln!(
             "error: fault plans (--drop) are not yet supported with --workers > 1; \

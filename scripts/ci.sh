@@ -33,6 +33,15 @@ grep -q '"pass": true' /tmp/BENCH_net_smoke.json \
   || { echo "sanity_pin failed in BENCH_net_smoke.json" >&2; exit 1; }
 echo "topo smoke OK"
 
+echo "==> collectives benchmark (smoke)"
+# Ring/tree allreduce and MoE alltoall sweeps; exits 1 if any collective
+# diverges from its scalar reference or the training step fails to
+# overlap. Merges into the same JSON net_speed wrote above.
+cargo run --release -p gaat-bench --bin coll_speed -- --smoke --out /tmp/BENCH_net_smoke.json
+grep -q '"sanity_pin": {"ring_allreduce": true, "tree_allreduce": true, "moe": true, "pass": true}' /tmp/BENCH_net_smoke.json \
+  || { echo "coll_speed sanity pin failed in BENCH_net_smoke.json" >&2; exit 1; }
+echo "coll smoke OK"
+
 echo "==> windowed parallel DES smoke (--workers 2)"
 # Replays the pinned goldens through the sharded windowed engine at
 # --workers 2 and 4 and requires bit-identical fingerprints against the

@@ -19,6 +19,8 @@
 //! | [`mpi`] | `gaat-mpi` | MPI-like baseline runtime |
 //! | [`jacobi3d`] | `gaat-jacobi3d` | The proxy application, all four versions |
 //! | [`sweep3d`] | `gaat-sweep3d` | Wavefront-sweep proxy app (pipelined dependencies) |
+//! | [`coll`] | `gaat-coll` | GPU-aware collectives: ring/tree allreduce, reduce-scatter, allgather, broadcast, alltoall |
+//! | [`dptrain`] | `gaat-dptrain` | ML-traffic proxies: data-parallel training, skew-routed MoE alltoall |
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,8 @@
 
 #![warn(missing_docs)]
 
+pub use gaat_coll as coll;
+pub use gaat_dptrain as dptrain;
 pub use gaat_gpu as gpu;
 pub use gaat_jacobi3d as jacobi3d;
 pub use gaat_mpi as mpi;

@@ -290,6 +290,66 @@ fn sweep3d_worker_counts_agree_bit_identically() {
     }
 }
 
+/// Golden fingerprints for the collective-traffic proxy apps (gaat-coll
+/// under gaat-dptrain), recorded when they landed: one data-parallel
+/// training scenario and one skew-routed MoE scenario, replayed at
+/// workers 1 and 2 on the Flat 2-node machine. Totals may only move on a
+/// deliberate model change; the traffic counters (bytes/chunks/steps)
+/// are the structural fingerprint and pin the schedules themselves.
+#[test]
+fn coll_proxy_apps_replay_goldens_across_worker_counts() {
+    use gaat::dptrain::moe::{run_moe_app, MoeConfig};
+    use gaat::dptrain::train::{train, TrainConfig};
+
+    for workers in [1usize, 2] {
+        let mut m = MachineConfig::summit(2);
+        m.workers = workers;
+        let mut c = TrainConfig::new(m, 1 << 16);
+        c.steps = 2;
+        c.warmup = 1;
+        let r = train(c);
+        assert_eq!(r.total.as_ns(), 1_904_268, "workers={workers} train total");
+        assert_eq!(
+            r.time_per_step.as_ns(),
+            633_748,
+            "workers={workers} train per-step"
+        );
+        assert_eq!(r.coll_stats.bytes, 34_603_008, "workers={workers} bytes");
+        assert_eq!(r.coll_stats.chunks, 3_168, "workers={workers} chunks");
+        assert_eq!(r.coll_stats.steps, 3_168, "workers={workers} steps");
+        assert_eq!(
+            r.coll_stats.reduced_elems, 2_162_688,
+            "workers={workers} reduced"
+        );
+        assert_eq!(r.coll_stats.rounds, 144, "workers={workers} rounds");
+    }
+
+    for workers in [1usize, 2] {
+        let mut m = MachineConfig::summit(2);
+        m.workers = workers;
+        let mut c = MoeConfig::new(m, 512, 64);
+        c.hot_experts = 3;
+        c.hot_frac = 0.7;
+        c.rounds = 2;
+        c.warmup = 1;
+        let r = run_moe_app(c);
+        assert_eq!(r.total.as_ns(), 924_567, "workers={workers} moe total");
+        assert_eq!(
+            r.time_per_round.as_ns(),
+            307_777,
+            "workers={workers} moe per-round"
+        );
+        for (name, s) in [
+            ("dispatch", &r.dispatch_stats),
+            ("combine", &r.combine_stats),
+        ] {
+            assert_eq!(s.bytes, 8_623_104, "workers={workers} {name} bytes");
+            assert_eq!(s.chunks, 396, "workers={workers} {name} chunks");
+            assert_eq!(s.steps, 396, "workers={workers} {name} steps");
+        }
+    }
+}
+
 fn partition_base_cfg() -> JacobiConfig {
     let mut c = JacobiConfig::new(MachineConfig::summit(4), Dims::cube(96));
     c.iters = 4;
