@@ -19,8 +19,9 @@
 //! stalled blocks with retries off.
 
 use gaat_jacobi3d::{charm, CommMode, Dims, JacobiConfig};
-use gaat_rt::{MachineConfig, Simulation};
+use gaat_rt::MachineConfig;
 use gaat_sim::FaultPlan;
+use gaat_sweep::{run_sweep, ScenarioGrid, SweepOptions, Workload};
 
 #[derive(Debug, PartialEq)]
 struct Fingerprint {
@@ -75,71 +76,65 @@ fn run_once() -> (Fingerprint, usize) {
     )
 }
 
-fn sweep_cfg(drop_prob: f64, retries: bool, odf: usize) -> JacobiConfig {
+/// The fault-sweep ablation: how loss prices into iteration time with
+/// the retry layer on, and how many blocks stall without it. Runs as a
+/// `gaat-sweep` grid drained by the worker pool; per-scenario outcomes
+/// are worker-count-independent, so the table is stable however the
+/// queue is drained.
+fn sweep() {
     let mut machine = MachineConfig::validation(2, 2);
     machine.faults = FaultPlan {
         seed: 42,
-        drop_prob,
+        drop_prob: 0.0,
         ..FaultPlan::none()
     };
-    machine.ucx.reliability.enabled = retries;
-    let mut cfg = JacobiConfig::new(machine, Dims::cube(8));
-    cfg.comm = CommMode::HostStaging;
-    cfg.iters = 8;
-    cfg.warmup = 2;
-    cfg.odf = odf;
-    cfg
-}
+    let mut grid = ScenarioGrid::new(machine);
+    grid.workloads.push(Workload::Jacobi {
+        global: Dims::cube(8),
+        iters: 8,
+        warmup: 2,
+        comm: CommMode::HostStaging,
+    });
+    grid.odfs = vec![1, 2, 4];
+    grid.drop_rates = vec![0.0, 0.01, 0.05, 0.10];
+    grid.retries = vec![true, false];
+    // Retries-off at zero loss is identical to retries-on; skip it.
+    grid.filter = Some(|sc| sc.retries || sc.drop_rate != 0.0);
+    let scenarios = grid.expand();
+    let report = run_sweep(&scenarios, &SweepOptions::new()).expect("no sweep I/O configured");
 
-/// The fault-sweep ablation: how loss prices into iteration time with
-/// the retry layer on, and how many blocks stall without it.
-fn sweep() {
     println!("\nfault sweep (HostStaging, 2x2 validation machine, 8 iters):");
     println!(
         "{:>6} {:>4} {:>9} | {:>12} {:>11} {:>10}",
         "drop", "odf", "retries", "us/iter", "retransmits", "stalled"
     );
-    for &drop in &[0.0, 0.01, 0.05, 0.10] {
-        for &odf in &[1usize, 2, 4] {
-            for &retries in &[true, false] {
-                if !retries && drop == 0.0 {
-                    continue; // identical to retries-on at zero loss
-                }
-                let (mut sim, ids, sh) = charm::build(sweep_cfg(drop, retries, odf));
-                let (time_us, stalled) = if retries {
-                    let r = charm::run(&mut sim, &ids, &sh);
-                    (r.time_per_iter.as_micros_f64(), 0)
-                } else {
-                    // Without retries loss stalls blocks; run the raw
-                    // event loop to drain and count the casualties.
-                    {
-                        let Simulation { sim, machine, .. } = &mut sim;
-                        machine.broadcast(sim, &ids, charm::E_START, 0);
-                    }
-                    sim.run();
-                    let stalled = ids
-                        .iter()
-                        .filter(|&&id| {
-                            sim.machine
-                                .chare_as::<charm::BlockChare>(id)
-                                .done_at
-                                .is_none()
-                        })
-                        .count();
-                    (f64::NAN, stalled)
-                };
-                let st = sim.machine.ucx.stats();
-                println!(
-                    "{:>6.2} {:>4} {:>9} | {:>12.1} {:>11} {:>10}",
-                    drop,
-                    odf,
-                    if retries { "on" } else { "off" },
-                    time_us,
-                    st.retransmits,
-                    stalled
-                );
-            }
-        }
+    // Grid nesting is odf-outer; the table reads best drop-outer.
+    let mut order: Vec<usize> = (0..scenarios.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (x, y) = (&scenarios[a], &scenarios[b]);
+        x.drop_rate
+            .partial_cmp(&y.drop_rate)
+            .expect("finite drop rates")
+            .then(x.odf.cmp(&y.odf))
+            .then(y.retries.cmp(&x.retries))
+    });
+    for i in order {
+        let sc = &scenarios[i];
+        let rec = &report.records[i];
+        let time_us = if rec.ok {
+            rec.unit_ns as f64 / 1e3
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{:>6.2} {:>4} {:>9} | {:>12.1} {:>11} {:>10}",
+            sc.drop_rate,
+            sc.odf,
+            if sc.retries { "on" } else { "off" },
+            time_us,
+            rec.ucx_retransmits,
+            rec.stalled
+        );
     }
 }
 

@@ -81,6 +81,7 @@ pub mod machine;
 pub mod msg;
 pub mod pe;
 pub mod sdag;
+pub mod slot;
 
 pub use channel::{create_channel, ChannelEnd};
 pub use ckpt::ChareSnapshot;
@@ -89,6 +90,7 @@ pub use machine::{Chare, Ctx, Machine, MachineStats, Simulation, WindowStats};
 pub use msg::{Callback, ChareId, EntryId, Envelope, MsgPriority};
 pub use pe::{Pe, PeStats};
 pub use sdag::WhenSet;
+pub use slot::{SlotStats, WorldSlot};
 
 // Re-exports for applications.
 pub use gaat_gpu::{

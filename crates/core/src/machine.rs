@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use gaat_gpu::{CompletionTag, Device, DeviceId, GpuHost, GraphId, Op, StreamId};
-use gaat_net::{Fabric, NetHost, NetMsg, NodeId};
+use gaat_net::{Fabric, NetHost, NetMsg, NodeId, SharedTopology};
 use gaat_sim::{RunOutcome, Sim, SimDuration, SimRng, SimTime, Tracer};
 use gaat_ucx::{MemLoc, UcxEvent, UcxHost, UcxState, WorkerId};
 
@@ -360,6 +360,15 @@ pub struct Machine {
 impl Machine {
     /// Build a machine from a configuration.
     pub fn new(cfg: MachineConfig) -> Self {
+        Self::new_shared(cfg, None)
+    }
+
+    /// Like [`Machine::new`], but reusing pre-built immutable topology
+    /// state (an all-pairs route table) from a [`SharedTopology`] —
+    /// sweep workers build that state once per machine shape and share
+    /// it read-only across thousands of runs. Bit-identical to
+    /// [`Machine::new`].
+    pub fn new_shared(cfg: MachineConfig, shared: Option<&SharedTopology>) -> Self {
         let rng = SimRng::new(cfg.seed);
         let pes = cfg.total_pes();
         let devices: Vec<Device> = (0..pes)
@@ -372,7 +381,7 @@ impl Machine {
                 d
             })
             .collect();
-        let mut fabric = Fabric::new(cfg.nodes, cfg.net.clone(), rng.stream(1));
+        let mut fabric = Fabric::new_shared(cfg.nodes, cfg.net.clone(), rng.stream(1), shared);
         fabric.set_tracing(cfg.trace);
         if cfg.faults.is_active() {
             fabric.set_faults(cfg.faults.clone());
@@ -1296,8 +1305,24 @@ pub struct Simulation {
 impl Simulation {
     /// Build a simulation from a configuration.
     pub fn new(cfg: MachineConfig) -> Self {
-        let mut sim = Sim::new().with_event_limit(5_000_000_000);
-        let mut machine = Machine::new(cfg);
+        Self::new_in(Sim::new(), cfg, None)
+    }
+
+    /// Build a simulation inside an existing (fresh or [`Sim::reset`])
+    /// engine, optionally reusing pre-built topology state. This is the
+    /// world-slot construction path (see [`crate::slot::WorldSlot`]):
+    /// the engine keeps its heap allocations across runs, and the route
+    /// table is shared across workers. Bit-identical to
+    /// [`Simulation::new`] — the engine's observable state after a
+    /// reset equals a fresh engine's, and the shared route table replays
+    /// the same routes the fabric would derive itself.
+    pub fn new_in(
+        engine: Sim<Machine>,
+        cfg: MachineConfig,
+        shared: Option<&SharedTopology>,
+    ) -> Self {
+        let mut sim = engine.with_event_limit(5_000_000_000);
+        let mut machine = Machine::new_shared(cfg, shared);
         machine.arm_faults(&mut sim);
         Simulation {
             sim,

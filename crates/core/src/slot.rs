@@ -1,0 +1,97 @@
+//! World-slot reuse: amortizing per-run allocation across many runs.
+//!
+//! Every [`Simulation::new`] pays for the event engine's ~1.5 MB
+//! calendar wheel, the slab arena, and (on a fat tree) the route
+//! machinery — costs that dwarf the useful work of a small scenario and
+//! repeat thousands of times in a sweep. A [`WorldSlot`] is one
+//! reusable simulation cell: it parks the engine between runs and
+//! rebuilds only the per-scenario [`Machine`] on top of it, and it
+//! caches [`SharedTopology`] state (the pre-built all-pairs route
+//! table) per machine shape so repeated shapes never re-derive routing.
+//!
+//! Reuse is *bit-invisible*: [`gaat_sim::Sim::reset`] restores the
+//! engine to the observable state of a fresh one (slot indices,
+//! generations, sequence numbers, and the clock all restart at zero),
+//! and the shared route table replays exactly what the fabric would
+//! compute itself. `crates/sweep/tests` pin this with a
+//! reset-slot-vs-fresh-world bit-identity test.
+
+use crate::config::MachineConfig;
+use crate::machine::{Machine, Simulation};
+use gaat_net::SharedTopology;
+use gaat_sim::Sim;
+
+/// Usage counters of one slot (how often reuse actually happened).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotStats {
+    /// Simulations prepared by this slot.
+    pub prepared: u64,
+    /// Of those, how many reused a retired engine's allocations.
+    pub reused: u64,
+}
+
+/// A reusable arena/World cell: park an engine with [`WorldSlot::retire`]
+/// after a run, get it back (reset, allocations intact) from the next
+/// [`WorldSlot::prepare`].
+#[derive(Default)]
+pub struct WorldSlot {
+    engine: Option<Sim<Machine>>,
+    /// Shared immutable topology state, one entry per machine shape this
+    /// slot has seen (a sweep typically has one or two). Entries
+    /// installed by [`WorldSlot::install_topology`] carry `Arc`s shared
+    /// with other slots; lazily built entries are slot-local.
+    topos: Vec<SharedTopology>,
+    stats: SlotStats,
+}
+
+impl WorldSlot {
+    /// An empty slot; the first `prepare` builds everything fresh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adopt pre-built shared topology state (an `Arc` clone of state
+    /// built once by the sweep driver) so this slot never derives its
+    /// own copy for that shape.
+    pub fn install_topology(&mut self, topo: SharedTopology) {
+        self.topos.push(topo);
+    }
+
+    /// Build a ready-to-run simulation for `cfg`, reusing the retired
+    /// engine's allocations when one is parked and any cached topology
+    /// state matching the config's shape. Bit-identical to
+    /// `Simulation::new(cfg)`.
+    pub fn prepare(&mut self, cfg: MachineConfig) -> Simulation {
+        let engine = match self.engine.take() {
+            Some(mut e) => {
+                e.reset();
+                self.stats.reused += 1;
+                e
+            }
+            None => Sim::new(),
+        };
+        self.stats.prepared += 1;
+        if !self.topos.iter().any(|t| t.matches(cfg.nodes, &cfg.net)) {
+            self.topos.push(SharedTopology::build(cfg.nodes, &cfg.net));
+        }
+        let shared = self
+            .topos
+            .iter()
+            .find(|t| t.matches(cfg.nodes, &cfg.net))
+            .expect("just inserted");
+        Simulation::new_in(engine, cfg, Some(shared))
+    }
+
+    /// Park a finished simulation's engine for the next `prepare`. The
+    /// machine (chares, buffers, stats) is dropped; only the engine's
+    /// heap survives. Accepts stalled runs too — `prepare` resets any
+    /// still-pending events away.
+    pub fn retire(&mut self, sim: Simulation) {
+        self.engine = Some(sim.sim);
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> SlotStats {
+        self.stats
+    }
+}

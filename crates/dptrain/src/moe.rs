@@ -335,8 +335,21 @@ pub fn expert_kernel(
 
 /// Build the MoE simulation.
 pub fn build_moe(cfg: MoeConfig) -> (Simulation, Vec<ChareId>, Arc<MoeShared>) {
+    let sim = Simulation::new(cfg.machine.clone());
+    build_moe_in(sim, cfg)
+}
+
+/// Like [`build_moe`], but constructing the application inside a
+/// caller-provided simulation (e.g. one prepared by a
+/// `gaat_rt::WorldSlot`, recycling the engine's allocations across a
+/// sweep of scenarios). Must have been built from `cfg.machine`.
+pub fn build_moe_in(
+    mut sim: Simulation,
+    cfg: MoeConfig,
+) -> (Simulation, Vec<ChareId>, Arc<MoeShared>) {
     assert!(cfg.rounds > 0 && cfg.hidden > 0);
     assert!((0.0..=1.0).contains(&cfg.hot_frac));
+    debug_assert_eq!(sim.machine.cfg.total_pes(), cfg.machine.total_pes());
     let ranks = cfg.effective_ranks();
     let counts = routing_counts(&cfg, ranks);
     let elems: Vec<Vec<usize>> = counts
@@ -348,7 +361,6 @@ pub fn build_moe(cfg: MoeConfig) -> (Simulation, Vec<ChareId>, Arc<MoeShared>) {
         .collect();
     let dispatch = alltoallv_plan(&elems, cfg.chunk);
     let combine = alltoallv_plan(&transposed, cfg.chunk);
-    let mut sim = Simulation::new(cfg.machine.clone());
     let real = cfg.machine.real_buffers;
     let sh = Arc::new(MoeShared {
         cfg: cfg.clone(),

@@ -321,7 +321,20 @@ pub fn sgd_update(
 
 /// Build the training simulation.
 pub fn build_train(cfg: TrainConfig) -> (Simulation, Vec<ChareId>, Arc<TrainShared>) {
+    let sim = Simulation::new(cfg.machine.clone());
+    build_train_in(sim, cfg)
+}
+
+/// Like [`build_train`], but constructing the application inside a
+/// caller-provided simulation (e.g. one prepared by a
+/// `gaat_rt::WorldSlot`, recycling the engine's allocations across a
+/// sweep of scenarios). Must have been built from `cfg.machine`.
+pub fn build_train_in(
+    mut sim: Simulation,
+    cfg: TrainConfig,
+) -> (Simulation, Vec<ChareId>, Arc<TrainShared>) {
     assert!(cfg.steps > 0 && cfg.buckets > 0 && cfg.params >= cfg.buckets);
+    debug_assert_eq!(sim.machine.cfg.total_pes(), cfg.machine.total_pes());
     let ranks = cfg.machine.total_pes();
     let plans: Vec<CollPlan> = (0..cfg.buckets)
         .map(|b| {
@@ -329,7 +342,6 @@ pub fn build_train(cfg: TrainConfig) -> (Simulation, Vec<ChareId>, Arc<TrainShar
             plan(CollOp::AllReduce, cfg.algorithm, ranks, bl, cfg.chunk)
         })
         .collect();
-    let mut sim = Simulation::new(cfg.machine.clone());
     let real = cfg.machine.real_buffers;
     let sh = Arc::new(TrainShared {
         cfg: cfg.clone(),

@@ -666,8 +666,18 @@ impl Chare for BlockChare {
 /// buffers, streams, channels, and (optionally) graphs. Returns the
 /// simulation, the chare ids, and the shared parameters.
 pub fn build(cfg: JacobiConfig) -> (Simulation, Vec<ChareId>, Arc<Shared>) {
+    let sim = Simulation::new(cfg.machine.clone());
+    build_in(sim, cfg)
+}
+
+/// Like [`build`], but constructing the application inside a
+/// caller-provided simulation — typically one prepared by a
+/// `gaat_rt::WorldSlot`, so the engine's heap allocations are recycled
+/// across a sweep. The simulation must have been built from
+/// `cfg.machine` (same shape, seed, and fault plan).
+pub fn build_in(mut sim: Simulation, cfg: JacobiConfig) -> (Simulation, Vec<ChareId>, Arc<Shared>) {
     cfg.validate();
-    let mut sim = Simulation::new(cfg.machine.clone());
+    debug_assert_eq!(sim.machine.cfg.total_pes(), cfg.machine.total_pes());
     let pes = cfg.machine.total_pes();
     let nblocks = pes * cfg.odf;
     let decomp = Decomp::new(cfg.global, nblocks);
@@ -983,7 +993,42 @@ fn run_inner(
         gaat_rt::RunOutcome::Drained,
         "simulation should quiesce"
     );
+    collect(sim, ids, sh)
+}
 
+/// Start the application and run to quiescence, tolerating stalls: with
+/// the reliable transport off and message drops armed, a block that
+/// loses a halo message parks forever and the queue drains early.
+/// Returns the result if every block finished, plus the stalled-block
+/// count. This is the sweep engine's runner — a drop-rate axis must not
+/// abort the whole grid.
+pub fn run_tolerant(
+    sim: &mut Simulation,
+    ids: &[ChareId],
+    sh: &Shared,
+) -> (Option<RunResult>, usize) {
+    {
+        let Simulation { sim, machine, .. } = sim;
+        machine.broadcast(sim, ids, E_START, 0);
+    }
+    let outcome = sim.run();
+    assert_eq!(
+        outcome,
+        gaat_rt::RunOutcome::Drained,
+        "simulation should quiesce"
+    );
+    let stalled = ids
+        .iter()
+        .filter(|&&id| sim.machine.chare_as::<BlockChare>(id).done_at.is_none())
+        .count();
+    if stalled > 0 {
+        return (None, stalled);
+    }
+    (Some(collect(sim, ids, sh)), 0)
+}
+
+/// Fold a drained run's per-block state into a [`RunResult`].
+fn collect(sim: &mut Simulation, ids: &[ChareId], sh: &Shared) -> RunResult {
     let mut warm = SimTime::ZERO;
     let mut done = SimTime::ZERO;
     for &id in ids {

@@ -24,11 +24,12 @@
 use gaat_sim::{
     EventId, FaultPlan, LinkFaultKind, MsgFate, Sim, SimDuration, SimRng, SimTime, Tracer,
 };
-use gaat_topo::FlowSim;
 pub use gaat_topo::{
     BusySpan, CongestionSummary, FatTreeGraph, FatTreeParams, LinkId, LinkKind, LinkUsage,
-    SolverStats,
+    RouteTable, SolverStats,
 };
+use gaat_topo::{FlowSim, RouteInfo};
+use std::sync::Arc;
 
 /// Identifier of a machine node (which hosts several PEs/GPUs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -48,7 +49,7 @@ pub enum TopologyKind {
 }
 
 /// Calibration constants of the fabric.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetParams {
     /// Base one-way latency between nodes (host memory to host memory).
@@ -90,6 +91,50 @@ impl NetParams {
     /// Serialization time of `bytes` on the intra-node path.
     pub fn intra_ser(&self, bytes: u64) -> SimDuration {
         SimDuration::from_ns((bytes as f64 / self.intra_bw * 1e9).round() as u64)
+    }
+}
+
+/// Immutable pre-built topology state shared by concurrent simulations.
+///
+/// A sweep over thousands of scenarios on the same machine shape would
+/// otherwise rebuild identical routing state once per run; this type
+/// builds it once and hands read-only `Arc` clones to every worker. For
+/// [`TopologyKind::FatTree`] the shared state is the all-pairs
+/// [`RouteTable`]; `Flat` has no shareable routing state, but a
+/// `SharedTopology` still records the shape so a cached value can be
+/// checked against a scenario's config with [`SharedTopology::matches`].
+///
+/// Sharing is purely an allocation/CPU optimization: the table replays
+/// `try_route` on the all-up graph, and a fabric stops consulting it
+/// the moment a link fault fires, so outcomes are bit-identical with or
+/// without it.
+#[derive(Debug, Clone)]
+pub struct SharedTopology {
+    nodes: usize,
+    params: NetParams,
+    routes: Option<Arc<RouteTable>>,
+}
+
+impl SharedTopology {
+    /// Build the shared state for one machine shape.
+    pub fn build(nodes: usize, params: &NetParams) -> Self {
+        let routes = match params.topology {
+            TopologyKind::Flat => None,
+            TopologyKind::FatTree(ft) => {
+                let graph = FatTreeGraph::new(nodes, params.intra_bw, params.inter_bw, ft);
+                Some(Arc::new(RouteTable::build(&graph)))
+            }
+        };
+        SharedTopology {
+            nodes,
+            params: params.clone(),
+            routes,
+        }
+    }
+
+    /// True if this shared state was built for exactly this shape.
+    pub fn matches(&self, nodes: usize, params: &NetParams) -> bool {
+        self.nodes == nodes && self.params == *params
     }
 }
 
@@ -360,10 +405,24 @@ struct FatTree {
     tail_latency: Vec<SimDuration>,
     route_buf: Vec<LinkId>,
     done_buf: Vec<u64>,
+    /// Pre-built all-up routes shared across simulations (sweep mode).
+    routes: Option<Arc<RouteTable>>,
+    /// True while the table may be consulted: no link is down. The
+    /// table's routes equal `try_route`'s output on an all-up graph, so
+    /// flipping this flag can never change an outcome.
+    routes_valid: bool,
 }
 
 impl FatTree {
-    fn new(nodes: usize, params: &NetParams, ft: FatTreeParams) -> Self {
+    fn new(
+        nodes: usize,
+        params: &NetParams,
+        ft: FatTreeParams,
+        routes: Option<Arc<RouteTable>>,
+    ) -> Self {
+        if let Some(rt) = &routes {
+            assert_eq!(rt.nodes(), nodes, "shared route table shape mismatch");
+        }
         let graph = FatTreeGraph::new(nodes, params.intra_bw, params.inter_bw, ft);
         let flows = FlowSim::new(graph.links().to_vec());
         FatTree {
@@ -375,18 +434,31 @@ impl FatTree {
             tail_latency: Vec::new(),
             route_buf: Vec::new(),
             done_buf: Vec::new(),
+            routes_valid: routes.is_some(),
+            routes,
         }
     }
 }
 
 impl Topology for FatTree {
     fn admit(&mut self, now: SimTime, msg: &NetMsg, jitter: f64, flight: u32) -> Admit {
-        let info = match self
-            .graph
-            .try_route(msg.src.0, msg.dst.0, &mut self.route_buf)
-        {
-            Some(info) => info,
-            None => return Admit::NoRoute,
+        let info = if self.routes_valid {
+            let rt = self.routes.as_ref().expect("routes_valid implies a table");
+            let (links, hops) = rt.lookup(msg.src.0, msg.dst.0);
+            self.route_buf.clear();
+            self.route_buf.extend_from_slice(links);
+            RouteInfo {
+                hops,
+                failover: false,
+            }
+        } else {
+            match self
+                .graph
+                .try_route(msg.src.0, msg.dst.0, &mut self.route_buf)
+            {
+                Some(info) => info,
+                None => return Admit::NoRoute,
+            }
         };
         let base = if msg.src == msg.dst {
             self.intra_latency
@@ -422,12 +494,16 @@ impl Topology for FatTree {
             LinkFaultKind::Down => {
                 self.graph.set_link_state(link, false);
                 self.flows.abort_link(now, link, aborted);
+                // The pre-built table assumes all links up; fall back to
+                // the D-mod-k failover scan until every link recovers.
+                self.routes_valid = false;
             }
             LinkFaultKind::Up => {
                 self.graph.set_link_state(link, true);
                 // Restore nominal capacity (undoes any prior degradation).
                 let bw = self.graph.links()[link.0 as usize].bw;
                 self.flows.set_link_bw(now, link, bw);
+                self.routes_valid = self.routes.is_some() && self.graph.all_links_up();
             }
             LinkFaultKind::Degrade(factor) => {
                 let bw = self.graph.links()[link.0 as usize].bw;
@@ -504,13 +580,33 @@ pub struct Fabric {
 impl Fabric {
     /// A fabric connecting `nodes` nodes, with the topology selected by
     /// `params.topology`.
-    pub fn new(nodes: usize, params: NetParams, mut rng: SimRng) -> Self {
+    pub fn new(nodes: usize, params: NetParams, rng: SimRng) -> Self {
+        Self::new_shared(nodes, params, rng, None)
+    }
+
+    /// Like [`Fabric::new`], but reusing pre-built immutable topology
+    /// state (routes) from a [`SharedTopology`] instead of deriving it
+    /// locally. Outcomes are bit-identical either way; panics if the
+    /// shared state was built for a different shape.
+    pub fn new_shared(
+        nodes: usize,
+        params: NetParams,
+        mut rng: SimRng,
+        shared: Option<&SharedTopology>,
+    ) -> Self {
+        let routes = shared.and_then(|s| {
+            assert!(
+                s.matches(nodes, &params),
+                "shared topology was built for a different machine shape"
+            );
+            s.routes.clone()
+        });
         let topo: Box<dyn Topology> = match params.topology {
             TopologyKind::Flat => Box::new(Flat {
                 params: params.clone(),
                 nics: vec![Nic::default(); nodes],
             }),
-            TopologyKind::FatTree(ft) => Box::new(FatTree::new(nodes, &params, ft)),
+            TopologyKind::FatTree(ft) => Box::new(FatTree::new(nodes, &params, ft, routes)),
         };
         Fabric {
             params,

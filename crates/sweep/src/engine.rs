@@ -1,0 +1,383 @@
+//! The request-driven sweep executor: a work queue drained by a pool of
+//! std threads, each owning one reusable [`WorldSlot`].
+//!
+//! Determinism argument, in full:
+//!
+//! 1. Every scenario runs in its *own* single-machine simulation, fully
+//!    determined by its `MachineConfig` (seed, fault plan, topology)
+//!    and workload parameters. Nothing about one scenario's execution
+//!    reads another's state.
+//! 2. World-slot reuse is bit-invisible ([`gaat_sim::Sim::reset`]
+//!    restores a fresh engine's observable state; pinned by the
+//!    world-reuse test), so it does not matter *which* slot — with
+//!    *whatever* history — a scenario lands on.
+//! 3. The shared route table replays exactly what each fabric would
+//!    derive itself (`gaat-topo`'s `RouteTable` is built by replaying
+//!    `try_route`), so sharing immutable topology state is also
+//!    bit-invisible.
+//! 4. Workers claim scenarios by atomic fetch-add, so worker count and
+//!    dequeue order only permute *completion order*. Records carry
+//!    their scenario's stable grid index; the report re-sorts by index,
+//!    and wall-clock metadata is excluded from fingerprints.
+//!
+//! Hence: fingerprints from a sweep at any worker count equal each
+//! other and equal standalone single-run invocations of the same
+//! scenarios. `crates/sweep/tests/determinism_sweep.rs` pins this.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use gaat_jacobi3d::charm;
+use gaat_net::SharedTopology;
+use gaat_rt::{MachineConfig, Simulation, SlotStats, WorldSlot};
+
+use crate::grid::{Scenario, Workload};
+use crate::record::{AggregateRow, ScenarioRecord};
+
+/// How to drain a scenario queue.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads; 0 = host parallelism.
+    pub workers: usize,
+    /// Recycle each worker's engine between scenarios (the fast path;
+    /// off = build a fresh world per run, for overhead measurement).
+    pub reuse_worlds: bool,
+    /// Stream one JSON record per completed scenario here, flushed per
+    /// line so a killed sweep keeps everything finished so far.
+    pub jsonl: Option<PathBuf>,
+    /// Write the end-of-sweep aggregate summary here as CSV.
+    pub csv: Option<PathBuf>,
+}
+
+impl SweepOptions {
+    /// Defaults plus world reuse on (the normal configuration).
+    pub fn new() -> Self {
+        SweepOptions {
+            reuse_worlds: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Everything a finished sweep produced, in scenario-index order.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// One record per scenario, sorted by grid index.
+    pub records: Vec<ScenarioRecord>,
+    /// Wall time of the whole drain.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Merged world-slot counters across workers.
+    pub slots: SlotStats,
+}
+
+impl SweepReport {
+    /// Per-scenario fingerprints in index order (the cross-worker-count
+    /// comparison key).
+    pub fn fingerprints(&self) -> Vec<u64> {
+        self.records
+            .iter()
+            .map(ScenarioRecord::fingerprint)
+            .collect()
+    }
+
+    /// Records folded by group (everything but the seed axis), in
+    /// first-appearance order.
+    pub fn aggregate(&self) -> Vec<AggregateRow> {
+        let mut rows: Vec<AggregateRow> = Vec::new();
+        for r in &self.records {
+            let row = match rows.iter_mut().find(|g| g.group == r.group) {
+                Some(row) => row,
+                None => {
+                    rows.push(AggregateRow {
+                        group: r.group.clone(),
+                        count: 0,
+                        ok: 0,
+                        stalled: 0,
+                        mean_makespan_ns: 0.0,
+                        mean_unit_ns: 0.0,
+                        mean_wall_ns: 0.0,
+                    });
+                    rows.last_mut().expect("just pushed")
+                }
+            };
+            // Accumulate sums first; normalized below.
+            row.count += 1;
+            row.stalled += r.stalled;
+            row.mean_wall_ns += r.wall_ns as f64;
+            if r.ok {
+                row.ok += 1;
+                row.mean_makespan_ns += r.makespan_ns as f64;
+                row.mean_unit_ns += r.unit_ns as f64;
+            }
+        }
+        for row in &mut rows {
+            row.mean_wall_ns /= row.count as f64;
+            if row.ok > 0 {
+                row.mean_makespan_ns /= row.ok as f64;
+                row.mean_unit_ns /= row.ok as f64;
+            }
+        }
+        rows
+    }
+
+    /// The aggregate as a printable table.
+    pub fn aggregate_table(&self) -> String {
+        let mut out = format!(
+            "{:<55} {:>5} {:>5} {:>7} {:>12} {:>10}\n",
+            "group", "runs", "ok", "stalled", "makespan_us", "unit_us"
+        );
+        for row in self.aggregate() {
+            out.push_str(&format!(
+                "{:<55} {:>5} {:>5} {:>7} {:>12.1} {:>10.2}\n",
+                row.group,
+                row.count,
+                row.ok,
+                row.stalled,
+                row.mean_makespan_ns / 1e3,
+                row.mean_unit_ns / 1e3,
+            ));
+        }
+        out
+    }
+}
+
+/// Drain `scenarios` across a worker pool and collect every record.
+/// Per-scenario outcomes are independent of `opts.workers` and of
+/// dequeue order (see the module docs for the argument); only the
+/// wall-clock metadata fields vary.
+pub fn run_sweep(scenarios: &[Scenario], opts: &SweepOptions) -> std::io::Result<SweepReport> {
+    let start = Instant::now();
+    let workers = if opts.workers == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        opts.workers
+    };
+
+    // One immutable topology/route table per unique machine shape,
+    // built up front and shared behind `Arc`s by every worker.
+    let mut shapes: Vec<SharedTopology> = Vec::new();
+    for sc in scenarios {
+        if !shapes
+            .iter()
+            .any(|t| t.matches(sc.machine.nodes, &sc.machine.net))
+        {
+            shapes.push(SharedTopology::build(sc.machine.nodes, &sc.machine.net));
+        }
+    }
+
+    let mut jsonl = match &opts.jsonl {
+        Some(p) => Some(BufWriter::new(File::create(p)?)),
+        None => None,
+    };
+    let mut write_err: Option<std::io::Error> = None;
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<ScenarioRecord>();
+    let mut slots_out: Vec<Option<ScenarioRecord>> = vec![None; scenarios.len()];
+    let mut slots = SlotStats::default();
+    let shapes_ref = &shapes;
+    let next_ref = &next;
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            handles.push(s.spawn(move || {
+                let mut slot = WorldSlot::new();
+                for t in shapes_ref {
+                    slot.install_topology(t.clone());
+                }
+                loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= scenarios.len() {
+                        break;
+                    }
+                    let rec = run_scenario_in(&mut slot, &scenarios[i], opts.reuse_worlds);
+                    if tx.send(rec).is_err() {
+                        break;
+                    }
+                }
+                slot.stats()
+            }));
+        }
+        drop(tx);
+        // The calling thread is the sink: stream each record out the
+        // moment it lands, so a killed sweep keeps every completed one.
+        for rec in rx {
+            if let Some(w) = jsonl.as_mut() {
+                if write_err.is_none() {
+                    let line = rec.jsonl();
+                    if let Err(e) = writeln!(w, "{line}").and_then(|()| w.flush()) {
+                        write_err = Some(e);
+                    }
+                }
+            }
+            let idx = rec.index;
+            slots_out[idx] = Some(rec);
+        }
+        for h in handles {
+            let st = h.join().expect("sweep worker panicked");
+            slots.prepared += st.prepared;
+            slots.reused += st.reused;
+        }
+    });
+    if let Some(e) = write_err {
+        return Err(e);
+    }
+
+    let records: Vec<ScenarioRecord> = slots_out
+        .into_iter()
+        .map(|r| r.expect("every scenario produces exactly one record"))
+        .collect();
+    let report = SweepReport {
+        records,
+        wall: start.elapsed(),
+        workers,
+        slots,
+    };
+    if let Some(p) = &opts.csv {
+        let mut w = BufWriter::new(File::create(p)?);
+        writeln!(w, "{}", AggregateRow::csv_header())?;
+        for row in report.aggregate() {
+            writeln!(w, "{}", row.csv())?;
+        }
+        w.flush()?;
+    }
+    Ok(report)
+}
+
+/// Run one scenario standalone, on a throwaway slot with no engine or
+/// topology reuse — the reference path the determinism test compares
+/// sweep records against.
+pub fn run_standalone(sc: &Scenario) -> ScenarioRecord {
+    let mut slot = WorldSlot::new();
+    run_scenario_in(&mut slot, sc, false)
+}
+
+fn run_scenario_in(slot: &mut WorldSlot, sc: &Scenario, reuse: bool) -> ScenarioRecord {
+    let t0 = Instant::now();
+    let reused_world = reuse && slot.stats().prepared > 0;
+    let prep = |slot: &mut WorldSlot, m: MachineConfig| {
+        if reuse {
+            slot.prepare(m)
+        } else {
+            Simulation::new(m)
+        }
+    };
+
+    let mut rec = ScenarioRecord {
+        index: sc.index,
+        group: sc.group(),
+        label: sc.label(),
+        ok: true,
+        stalled: 0,
+        makespan_ns: 0,
+        unit_ns: 0,
+        checksum: None,
+        entries: 0,
+        net_messages: 0,
+        net_bytes: 0,
+        net_drops: 0,
+        net_retransmits: 0,
+        ucx_retransmits: 0,
+        ucx_timeouts: 0,
+        ucx_duplicates: 0,
+        coll_bytes: 0,
+        coll_chunks: 0,
+        wall_ns: 0,
+        setup_ns: 0,
+        reused_world,
+    };
+
+    let sim = match sc.workload {
+        Workload::Jacobi { .. } => {
+            let cfg = sc.jacobi_config();
+            let sim0 = prep(slot, cfg.machine.clone());
+            let (mut sim, ids, sh) = charm::build_in(sim0, cfg);
+            rec.setup_ns = t0.elapsed().as_nanos() as u64;
+            let (res, stalled) = charm::run_tolerant(&mut sim, &ids, &sh);
+            match res {
+                Some(r) => {
+                    rec.makespan_ns = r.total.as_ns();
+                    rec.unit_ns = r.time_per_iter.as_ns();
+                    rec.checksum = r.checksum;
+                }
+                None => {
+                    rec.ok = false;
+                    rec.stalled = stalled as u64;
+                    rec.makespan_ns = sim.sim.now().as_ns();
+                }
+            }
+            sim
+        }
+        Workload::Sweep3d {
+            global,
+            sweeps,
+            warmup,
+        } => {
+            let mut cfg = gaat_sweep3d::SweepConfig::new(sc.machine.clone(), global);
+            cfg.odf = sc.odf;
+            cfg.sweeps = sweeps;
+            cfg.warmup = warmup;
+            let sim0 = prep(slot, cfg.machine.clone());
+            let (mut sim, ids, sh) = gaat_sweep3d::build_in(sim0, cfg);
+            rec.setup_ns = t0.elapsed().as_nanos() as u64;
+            let r = gaat_sweep3d::run(&mut sim, &ids, &sh);
+            rec.makespan_ns = r.total.as_ns();
+            rec.unit_ns = r.time_per_sweep.as_ns();
+            sim
+        }
+        Workload::Train { params, steps } => {
+            let mut cfg = gaat_dptrain::TrainConfig::new(sc.machine.clone(), params);
+            cfg.steps = steps;
+            let sim0 = prep(slot, cfg.machine.clone());
+            let (mut sim, ids, sh) = gaat_dptrain::train::build_train_in(sim0, cfg);
+            rec.setup_ns = t0.elapsed().as_nanos() as u64;
+            let r = gaat_dptrain::run_train(&mut sim, &ids, &sh);
+            rec.makespan_ns = r.total.as_ns();
+            rec.unit_ns = r.time_per_step.as_ns();
+            rec.coll_bytes = r.coll_stats.bytes;
+            rec.coll_chunks = r.coll_stats.chunks;
+            sim
+        }
+        Workload::Moe {
+            tokens,
+            hidden,
+            rounds,
+        } => {
+            let mut cfg = gaat_dptrain::MoeConfig::new(sc.machine.clone(), tokens, hidden);
+            cfg.rounds = rounds;
+            let sim0 = prep(slot, cfg.machine.clone());
+            let (mut sim, ids, sh) = gaat_dptrain::moe::build_moe_in(sim0, cfg);
+            rec.setup_ns = t0.elapsed().as_nanos() as u64;
+            let r = gaat_dptrain::run_moe(&mut sim, &ids, &sh);
+            rec.makespan_ns = r.total.as_ns();
+            rec.unit_ns = r.time_per_round.as_ns();
+            rec.coll_bytes = r.dispatch_stats.bytes + r.combine_stats.bytes;
+            rec.coll_chunks = r.dispatch_stats.chunks + r.combine_stats.chunks;
+            sim
+        }
+    };
+
+    let net = sim.machine.fabric.stats();
+    let ucx = sim.machine.ucx.stats();
+    rec.entries = sim.machine.stats().entries;
+    rec.net_messages = net.messages;
+    rec.net_bytes = net.bytes;
+    rec.net_drops = net.drops;
+    rec.net_retransmits = net.retransmits;
+    rec.ucx_retransmits = ucx.retransmits;
+    rec.ucx_timeouts = ucx.timeouts;
+    rec.ucx_duplicates = ucx.duplicates;
+    if reuse {
+        slot.retire(sim);
+    }
+    rec.wall_ns = t0.elapsed().as_nanos() as u64;
+    rec
+}

@@ -1,0 +1,28 @@
+//! # gaat-sweep — batched scenario-sweep engine
+//!
+//! Simulation-as-a-service for the rest of the workspace: a declarative
+//! [`ScenarioGrid`] (seed × ODF × topology × placement × fault plan ×
+//! workload, with explicit axes and an optional filter) expands into an
+//! indexed list of [`Scenario`] requests, and [`run_sweep`] drains the
+//! list across a pool of worker threads. Each worker owns one reusable
+//! [`gaat_rt::WorldSlot`] — engines are reset and recycled between
+//! scenarios instead of rebuilt (pinned bit-identical to fresh worlds)
+//! — and all workers share one immutable pre-built topology/route table
+//! per machine shape behind an `Arc`.
+//!
+//! Results stream incrementally: one JSONL record per completed
+//! scenario (fingerprint, makespan, network/transport/collective
+//! counters, wall time), flushed per line so a killed sweep keeps
+//! everything finished so far, plus an end-of-sweep CSV aggregate.
+//! Per-scenario outcomes are independent of worker count and dequeue
+//! order; only wall-clock metadata varies.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod grid;
+pub mod record;
+
+pub use engine::{run_standalone, run_sweep, SweepOptions, SweepReport};
+pub use grid::{Scenario, ScenarioGrid, Workload};
+pub use record::{AggregateRow, ScenarioRecord};

@@ -1,0 +1,237 @@
+//! The sweep engine's contract: per-scenario outcomes are independent
+//! of worker count, dequeue order, world-slot reuse, and shared-topology
+//! reuse. Fingerprints at workers {1, 2, 4} must match each other, must
+//! match a reuse-disabled sweep, and must match standalone one-off runs
+//! of the same scenarios.
+
+use gaat_jacobi3d::{CommMode, Dims, Placement};
+use gaat_net::{FatTreeParams, TopologyKind};
+use gaat_rt::MachineConfig;
+use gaat_sim::FaultPlan;
+use gaat_sweep::{run_standalone, run_sweep, ScenarioGrid, SweepOptions, Workload};
+
+fn test_machine() -> MachineConfig {
+    let mut machine = MachineConfig::validation(2, 2);
+    machine.faults = FaultPlan {
+        seed: 42,
+        drop_prob: 0.0,
+        ..FaultPlan::none()
+    };
+    machine.ucx.reliability.enabled = true;
+    machine
+}
+
+fn small_fattree() -> TopologyKind {
+    // Two nodes on separate leaves over two spines, so inter-node
+    // traffic actually crosses the route table.
+    TopologyKind::FatTree(FatTreeParams {
+        leaf_radix: 1,
+        spines: 2,
+        trunk_bw: 23.0e9,
+        hop_latency_ns: 150,
+    })
+}
+
+/// All four workloads, both topologies, a loss axis, and (for Jacobi,
+/// which tolerates stalls) a retries-off arm — small enough to run five
+/// times in a test, wide enough to cross every engine code path.
+fn test_grid() -> ScenarioGrid {
+    let mut grid = ScenarioGrid::new(test_machine());
+    grid.workloads = vec![
+        Workload::Jacobi {
+            global: Dims::cube(8),
+            iters: 3,
+            warmup: 1,
+            comm: CommMode::HostStaging,
+        },
+        Workload::Sweep3d {
+            global: Dims::cube(8),
+            sweeps: 2,
+            warmup: 1,
+        },
+        Workload::Train {
+            params: 4096,
+            steps: 2,
+        },
+        Workload::Moe {
+            tokens: 64,
+            hidden: 8,
+            rounds: 2,
+        },
+    ];
+    grid.seeds = vec![1, 2];
+    grid.odfs = vec![1, 2];
+    grid.placements = vec![Placement::RoundRobin];
+    grid.topologies = vec![TopologyKind::Flat, small_fattree()];
+    grid.drop_rates = vec![0.0, 0.05];
+    grid.retries = vec![true, false];
+    // Only Jacobi runs stall-tolerantly; everything else needs the
+    // reliable transport whenever loss is armed. Retries-off at zero
+    // loss is a duplicate of retries-on.
+    grid.filter = Some(|sc| {
+        if sc.retries {
+            true
+        } else {
+            matches!(sc.workload, Workload::Jacobi { .. }) && sc.drop_rate > 0.0
+        }
+    });
+    grid
+}
+
+#[test]
+fn expansion_is_stable_and_indexed() {
+    let scenarios = test_grid().expand();
+    assert!(!scenarios.is_empty());
+    for (i, sc) in scenarios.iter().enumerate() {
+        assert_eq!(sc.index, i, "indices are positional");
+    }
+    let again = test_grid().expand();
+    assert_eq!(scenarios.len(), again.len());
+    for (a, b) in scenarios.iter().zip(&again) {
+        assert_eq!(a.label(), b.label(), "expansion order is deterministic");
+    }
+}
+
+#[test]
+fn fingerprints_invariant_across_workers_reuse_and_standalone() {
+    let scenarios = test_grid().expand();
+
+    let mut opts = SweepOptions::new();
+    let mut runs = Vec::new();
+    for workers in [1, 2, 4] {
+        opts.workers = workers;
+        runs.push(run_sweep(&scenarios, &opts).expect("no I/O configured"));
+    }
+    // A reuse-disabled sweep: every scenario on a fresh world.
+    opts.workers = 2;
+    opts.reuse_worlds = false;
+    runs.push(run_sweep(&scenarios, &opts).expect("no I/O configured"));
+
+    let reference = runs[0].fingerprints();
+    assert_eq!(reference.len(), scenarios.len());
+    for run in &runs[1..] {
+        assert_eq!(
+            run.fingerprints(),
+            reference,
+            "sweep outcomes must not depend on worker count or world reuse"
+        );
+    }
+    // The multi-worker sweeps really did recycle worlds across a pool.
+    assert_eq!(runs[0].slots.prepared as usize, scenarios.len());
+    assert!(runs[0].slots.reused > 0, "reuse should actually engage");
+    assert_eq!(runs[3].slots.reused, 0, "reuse-off must not touch slots");
+
+    // And each record matches a standalone one-off run of its scenario.
+    for (sc, fp) in scenarios.iter().zip(&reference) {
+        let solo = run_standalone(sc);
+        assert_eq!(
+            solo.fingerprint(),
+            *fp,
+            "sweep record for `{}` differs from a standalone run",
+            sc.label()
+        );
+    }
+}
+
+#[test]
+fn world_slot_reuse_is_bit_identical_to_fresh_worlds() {
+    use gaat_jacobi3d::charm;
+    use gaat_rt::{Simulation, WorldSlot};
+
+    let mut cfg = gaat_jacobi3d::JacobiConfig::new(test_machine(), Dims::cube(8));
+    cfg.comm = CommMode::HostStaging;
+    cfg.iters = 3;
+    cfg.warmup = 1;
+    cfg.odf = 2;
+    cfg.machine.faults.drop_prob = 0.05;
+
+    let fingerprint = |sim: &mut Simulation| {
+        let net = sim.machine.fabric.stats();
+        let ucx = sim.machine.ucx.stats();
+        (
+            sim.sim.now(),
+            sim.machine.stats().entries,
+            net.messages,
+            net.bytes,
+            net.drops,
+            ucx.retransmits,
+            ucx.acks_sent,
+        )
+    };
+
+    // Reference: a fresh world.
+    let (mut sim, ids, sh) = charm::build(cfg.clone());
+    let (res, stalled) = charm::run_tolerant(&mut sim, &ids, &sh);
+    let want = (res.expect("retries on").checksum, fingerprint(&mut sim));
+    assert_eq!(stalled, 0);
+
+    // The same scenario through one slot, three times in a row; runs 2
+    // and 3 recycle the retired engine.
+    let mut slot = WorldSlot::new();
+    for round in 0..3 {
+        let (mut sim, ids, sh) = charm::build_in(slot.prepare(cfg.machine.clone()), cfg.clone());
+        let (res, _) = charm::run_tolerant(&mut sim, &ids, &sh);
+        let got = (res.expect("retries on").checksum, fingerprint(&mut sim));
+        assert_eq!(got, want, "slot round {round} differs from a fresh world");
+        slot.retire(sim);
+    }
+    assert_eq!(slot.stats().prepared, 3);
+    assert_eq!(slot.stats().reused, 2);
+}
+
+#[test]
+fn stalled_scenarios_are_reported_not_fatal() {
+    let scenarios = test_grid().expand();
+    let report = run_sweep(&scenarios, &SweepOptions::new()).expect("no I/O configured");
+    let stalled: Vec<_> = report.records.iter().filter(|r| !r.ok).collect();
+    assert!(
+        !stalled.is_empty(),
+        "the retries-off loss arm should stall some blocks"
+    );
+    for r in &stalled {
+        assert!(r.stalled > 0, "a failed record carries its casualty count");
+        assert!(r.makespan_ns > 0, "stall time is still deterministic");
+        assert_eq!(r.unit_ns, 0);
+    }
+    assert!(report.records.iter().any(|r| r.ok));
+}
+
+#[test]
+fn jsonl_and_csv_outputs_stream_every_record() {
+    let scenarios = test_grid().expand();
+    let dir = std::env::temp_dir();
+    let mut opts = SweepOptions::new();
+    opts.workers = 2;
+    opts.jsonl = Some(dir.join("gaat_sweep_test.jsonl"));
+    opts.csv = Some(dir.join("gaat_sweep_test.csv"));
+    let report = run_sweep(&scenarios, &opts).expect("temp dir is writable");
+
+    let jsonl = std::fs::read_to_string(opts.jsonl.as_ref().unwrap()).unwrap();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), scenarios.len(), "one JSONL line per scenario");
+    for rec in &report.records {
+        // Records stream in completion order; find by index and check
+        // the line is exactly the record's encoding.
+        let tag = format!("{{\"i\": {}, ", rec.index);
+        let line = lines
+            .iter()
+            .find(|l| l.starts_with(&tag))
+            .expect("every scenario has a line");
+        assert_eq!(*line, rec.jsonl());
+        assert!(line.contains(&format!("{:016x}", rec.fingerprint())));
+    }
+
+    let csv = std::fs::read_to_string(opts.csv.as_ref().unwrap()).unwrap();
+    let rows = report.aggregate();
+    assert_eq!(
+        csv.lines().count(),
+        rows.len() + 1,
+        "header + one row per group"
+    );
+    assert_eq!(
+        csv.lines().next().unwrap(),
+        "group,count,ok,stalled,mean_makespan_ns,mean_unit_ns,mean_wall_ns"
+    );
+    let total: usize = rows.iter().map(|r| r.count).sum();
+    assert_eq!(total, scenarios.len(), "aggregate covers every scenario");
+}

@@ -50,6 +50,16 @@ echo "==> windowed parallel DES smoke (--workers 2)"
 cargo test -q --release --test determinism worker_counts_replay_goldens_bit_identically
 echo "workers smoke OK"
 
+echo "==> sweep-engine benchmark (smoke)"
+# Batched scenario-sweep engine: fingerprints at workers 1/2/4 must
+# match each other and standalone runs, and world reuse must cut mean
+# per-scenario setup overhead (flagged instead of failed only when the
+# ThrottleGuard suspects host thermal throttling).
+cargo run --release -p gaat-bench --bin sweep_speed -- --smoke --out /tmp/BENCH_sweep_smoke.json
+grep -Eq '"sanity_pin": \{"scenarios": [0-9]+, "workers_match": true, "standalone_match": true, "pass": true\}' /tmp/BENCH_sweep_smoke.json \
+  || { echo "sweep_speed sanity pin failed in BENCH_sweep_smoke.json" >&2; exit 1; }
+echo "sweep smoke OK"
+
 echo "==> fault-injection smoke"
 # Deterministic replay diff (same fault seed twice -> identical
 # fingerprints) + Jacobi3D bit-identical to the reference under 1%

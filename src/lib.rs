@@ -21,6 +21,7 @@
 //! | [`sweep3d`] | `gaat-sweep3d` | Wavefront-sweep proxy app (pipelined dependencies) |
 //! | [`coll`] | `gaat-coll` | GPU-aware collectives: ring/tree allreduce, reduce-scatter, allgather, broadcast, alltoall |
 //! | [`dptrain`] | `gaat-dptrain` | ML-traffic proxies: data-parallel training, skew-routed MoE alltoall |
+//! | [`sweep`] | `gaat-sweep` | Batched scenario-sweep engine: grids, worker pool, reusable world slots, streamed JSONL |
 //!
 //! ## Quickstart
 //!
@@ -49,5 +50,6 @@ pub use gaat_mpi as mpi;
 pub use gaat_net as net;
 pub use gaat_rt as rt;
 pub use gaat_sim as sim;
+pub use gaat_sweep as sweep;
 pub use gaat_sweep3d as sweep3d;
 pub use gaat_ucx as ucx;
