@@ -1,7 +1,8 @@
-//! Sweep-engine benchmark: batch throughput and the world-reuse
-//! overhead ablation, written to `BENCH_sweep.json`.
+//! Sweep-engine benchmark: batch throughput, the world-reuse overhead
+//! ablation, and the prefix-fork ablation, written to
+//! `BENCH_sweep.json`.
 //!
-//! Three parts:
+//! Four parts:
 //!
 //! - A sanity pin (exit code 1 on failure): a mixed grid swept at
 //!   workers 1, 2, and 4 must produce identical per-scenario
@@ -13,12 +14,17 @@
 //!   setup overhead by >= 25%. A miss is *flagged instead of failed*
 //!   when the ThrottleGuard suspects host thermal throttling, since the
 //!   comparison is then biased.
+//! - `fork`: a fault-sweep-shaped grid (drop rate × onset axes that
+//!   diverge late in the timeline) swept fork-off vs fork-on. The
+//!   fingerprints must be identical (exit code 1 on mismatch — the
+//!   fork cell's CI pin); throughput must be >= 2x (throttle-flagged,
+//!   not failed, like the reuse cell).
 //!
 //! Usage: `sweep_speed [--smoke] [--out PATH]`
 
 use gaat_jacobi3d::{CommMode, Dims, Placement};
 use gaat_rt::MachineConfig;
-use gaat_sim::FaultPlan;
+use gaat_sim::{FaultPlan, SimDuration, SimTime};
 use gaat_sweep::{run_standalone, run_sweep, ScenarioGrid, SweepOptions, SweepReport, Workload};
 
 fn base_machine() -> MachineConfig {
@@ -78,6 +84,66 @@ fn sanity_pin(smoke: bool) -> (bool, bool, usize) {
     (workers_match, standalone_match, scenarios.len())
 }
 
+/// The fork ablation grid: scenarios within a machine seed differ only
+/// in drop rate and fault onset, with onsets deep into the ~1.39 ms
+/// timeline (83%+ shared prefix), so one executed prefix serves eight
+/// branches. This is the fault-sweep shape the tentpole targets.
+fn fork_grid(smoke: bool) -> ScenarioGrid {
+    let t = |us: u64| SimTime::ZERO + SimDuration::from_us(us);
+    let mut grid = ScenarioGrid::new(base_machine());
+    grid.workloads.push(Workload::Jacobi {
+        global: Dims::cube(8),
+        iters: 8,
+        warmup: 1,
+        comm: CommMode::HostStaging,
+    });
+    grid.seeds = (1..=if smoke { 2 } else { 8 }).collect();
+    grid.odfs = vec![2];
+    grid.drop_rates = vec![0.0, 0.02, 0.05, 0.10];
+    grid.fault_onsets = vec![t(1150), t(1300)];
+    grid
+}
+
+struct ForkCell {
+    scenarios: usize,
+    groups: usize,
+    snapshots: usize,
+    forked: usize,
+    declined: usize,
+    snapshot_ns: u64,
+    restore_ns: u64,
+    nofork_per_sec: f64,
+    fork_per_sec: f64,
+    speedup: f64,
+    fingerprints_match: bool,
+}
+
+/// Sweep the fork grid with prefix memoization off, then on, comparing
+/// fingerprints and throughput.
+fn fork_ablation(smoke: bool) -> ForkCell {
+    let scenarios = fork_grid(smoke).expand();
+    let mut opts = SweepOptions::new();
+    opts.fork = false;
+    let nofork = run_sweep(&scenarios, &opts).expect("no sweep I/O configured");
+    opts.fork = true;
+    let fork = run_sweep(&scenarios, &opts).expect("no sweep I/O configured");
+    let nofork_per_sec = scenarios.len() as f64 / nofork.wall.as_secs_f64();
+    let fork_per_sec = scenarios.len() as f64 / fork.wall.as_secs_f64();
+    ForkCell {
+        scenarios: scenarios.len(),
+        groups: fork.fork.groups,
+        snapshots: fork.fork.snapshots_taken,
+        forked: fork.fork.scenarios_forked,
+        declined: fork.fork.declined,
+        snapshot_ns: fork.fork.snapshot_ns / fork.fork.snapshots_taken.max(1) as u64,
+        restore_ns: fork.fork.restore_ns / fork.fork.scenarios_forked.max(1) as u64,
+        nofork_per_sec,
+        fork_per_sec,
+        speedup: fork_per_sec / nofork_per_sec,
+        fingerprints_match: fork.fingerprints() == nofork.fingerprints(),
+    }
+}
+
 struct SweepNumbers {
     scenarios: usize,
     workers: usize,
@@ -125,6 +191,7 @@ fn main() {
     let reuse = numbers(&run_sweep(&scenarios, &opts).expect("no sweep I/O configured"));
     opts.reuse_worlds = false;
     let fresh = numbers(&run_sweep(&scenarios, &opts).expect("no sweep I/O configured"));
+    let fork = fork_ablation(smoke);
     guard.close();
 
     // How much of the per-scenario setup cost (engine allocation +
@@ -133,6 +200,11 @@ fn main() {
     let target = 0.25;
     let reuse_pass = reduction >= target;
     let flagged = !reuse_pass && guard.throttle_suspected();
+
+    let fork_target = 2.0;
+    let fork_speed_pass = fork.speedup >= fork_target;
+    let fork_flagged = !fork_speed_pass && guard.throttle_suspected();
+    let fork_pass = fork.fingerprints_match && fork_speed_pass;
 
     let mut obj = String::new();
     obj.push_str("{\n");
@@ -153,6 +225,20 @@ fn main() {
     obj.push_str(&format!(
         "  \"reuse_overhead\": {{\"fresh_setup_ns\": {:.0}, \"reuse_setup_ns\": {:.0}, \"fresh_scenarios_per_sec\": {:.1}, \"reduction\": {:.3}, \"target\": {target}, \"pass\": {reuse_pass}, \"flagged\": {flagged}}},\n",
         fresh.mean_setup_ns, reuse.mean_setup_ns, fresh.per_sec, reduction
+    ));
+    obj.push_str(&format!(
+        "  \"fork\": {{\"scenarios\": {}, \"groups\": {}, \"snapshots\": {}, \"forked\": {}, \"declined\": {}, \"snapshot_ns\": {}, \"restore_ns\": {}, \"nofork_scenarios_per_sec\": {:.1}, \"fork_scenarios_per_sec\": {:.1}, \"speedup\": {:.2}, \"fingerprints_match\": {}, \"target\": {fork_target}, \"pass\": {fork_pass}, \"flagged\": {fork_flagged}}},\n",
+        fork.scenarios,
+        fork.groups,
+        fork.snapshots,
+        fork.forked,
+        fork.declined,
+        fork.snapshot_ns,
+        fork.restore_ns,
+        fork.nofork_per_sec,
+        fork.fork_per_sec,
+        fork.speedup,
+        fork.fingerprints_match,
     ));
     obj.push_str(&format!(
         "  \"steady_state\": {}\n}}\n",
@@ -184,6 +270,26 @@ fn main() {
         }
     );
     println!(
+        "fork           {} scenarios, {} groups: {:.0} -> {:.0} scenarios/sec ({:.2}x, fingerprints {})  {}",
+        fork.scenarios,
+        fork.groups,
+        fork.nofork_per_sec,
+        fork.fork_per_sec,
+        fork.speedup,
+        if fork.fingerprints_match {
+            "match"
+        } else {
+            "DIFFER"
+        },
+        if fork_pass {
+            "OK"
+        } else if fork_flagged {
+            "FLAGGED (throttle suspected)"
+        } else {
+            "FAIL"
+        }
+    );
+    println!(
         "steady-state drift {:.3}x{}",
         guard.slowdown_ratio(),
         if guard.throttle_suspected() {
@@ -203,6 +309,20 @@ fn main() {
             "reuse overhead check failed: {:.0}% reduction < {:.0}% target",
             reduction * 100.0,
             target * 100.0
+        );
+        std::process::exit(1);
+    }
+    // Fingerprint equality is a correctness pin, never throttle-excused;
+    // the throughput half of the fork cell follows the reuse cell's
+    // flagged-not-failed rule.
+    if !fork.fingerprints_match {
+        eprintln!("fork cell failed: forked sweep fingerprints differ from the unforked sweep");
+        std::process::exit(1);
+    }
+    if !fork_speed_pass && !fork_flagged {
+        eprintln!(
+            "fork speedup check failed: {:.2}x < {fork_target:.1}x target",
+            fork.speedup
         );
         std::process::exit(1);
     }

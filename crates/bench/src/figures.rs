@@ -35,9 +35,10 @@ struct Job {
 }
 
 fn exec(jobs: Vec<Job>, e: &Effort) -> Vec<Row> {
-    run_jobs(jobs, |j| {
+    run_jobs(jobs, |slot, j| {
         run_point(
-            j.figure, &j.series, j.variant, j.nodes, j.global, j.odf, j.fusion, j.graphs, j.sync, e,
+            slot, j.figure, &j.series, j.variant, j.nodes, j.global, j.odf, j.fusion, j.graphs,
+            j.sync, e,
         )
     })
 }

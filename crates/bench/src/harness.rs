@@ -3,9 +3,9 @@
 
 use std::fmt;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
-use gaat_jacobi3d::{run_charm, run_mpi, CommMode, Fusion, JacobiConfig, SyncMode};
+use gaat_jacobi3d::{run_charm_in, run_mpi_in, CommMode, Fusion, JacobiConfig, SyncMode};
+use gaat_rt::WorldSlot;
 
 /// Which of the paper's four Jacobi3D versions to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,9 +150,13 @@ impl fmt::Display for Row {
     }
 }
 
-/// Run one experiment configuration, averaging over the effort's seeds.
+/// Run one experiment configuration in `slot`'s recycled world,
+/// averaging over the effort's seeds. World reuse is bit-invisible
+/// (`Sim::reset` is pinned bit-identical to a fresh engine), so figure
+/// rows are unchanged from the pre-slot serial harness.
 #[allow(clippy::too_many_arguments)] // a flat experiment descriptor
 pub fn run_point(
+    slot: &mut WorldSlot,
     figure: &str,
     series: &str,
     variant: Variant,
@@ -178,13 +182,15 @@ pub fn run_point(
         cfg.graphs = graphs;
         cfg.iters = e.iters;
         cfg.warmup = e.warmup;
-        let r = if variant.is_charm() {
+        let sim0 = slot.prepare(cfg.machine.clone());
+        let (sim, r) = if variant.is_charm() {
             cfg.odf = odf;
-            run_charm(cfg)
+            run_charm_in(sim0, cfg)
         } else {
             assert_eq!(odf, 1, "MPI runs one rank per PE");
-            run_mpi(cfg)
+            run_mpi_in(sim0, cfg)
         };
+        slot.retire(sim);
         total_us += r.time_per_iter.as_micros_f64();
         total_cpu += r.cpu_utilization;
     }
@@ -202,36 +208,16 @@ pub fn run_point(
     }
 }
 
-/// Execute a batch of independent jobs on a small thread pool (each job
-/// builds and runs its own simulation, so nothing needs to be `Send`
-/// except the job descriptions and the result rows).
+/// Execute a batch of independent jobs on the sweep engine's slot pool:
+/// each worker thread owns one reusable [`WorldSlot`] handed to every
+/// job it claims, so engines are recycled across figure points instead
+/// of rebuilt (the sweep engine's fast path, bit-invisible in results).
 pub fn run_jobs<J, F>(jobs: Vec<J>, f: F) -> Vec<Row>
 where
     J: Send + Sync,
-    F: Fn(&J) -> Row + Sync,
+    F: Fn(&mut WorldSlot, &J) -> Row + Sync,
 {
-    let n = jobs.len();
-    let threads = std::thread::available_parallelism()
-        .map(|x| x.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    let next = AtomicUsize::new(0);
-    let out: Vec<std::sync::Mutex<Option<Row>>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                *out[i].lock().expect("job panicked") = Some(f(&jobs[i]));
-            });
-        }
-    });
-    out.into_iter()
-        .map(|m| m.into_inner().expect("lock poisoned").expect("job ran"))
-        .collect()
+    gaat_sweep::run_batch(&jobs, 0, f).0
 }
 
 /// For each (series, nodes) keep only the fastest row over ODFs — how the
@@ -345,7 +331,7 @@ mod tests {
     #[test]
     fn run_jobs_completes_all() {
         let jobs: Vec<usize> = (0..20).collect();
-        let rows = run_jobs(jobs, |&i| Row {
+        let rows = run_jobs(jobs, |_slot, &i| Row {
             figure: "t".into(),
             series: format!("s{i}"),
             nodes: i,

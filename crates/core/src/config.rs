@@ -9,7 +9,7 @@ use gaat_ucx::UcxParams;
 /// and messaging overheads). These are what make fine-grained
 /// overdecomposition expensive — the effect that bounds the useful ODF in
 /// the paper's Figs. 7–9.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RtCosts {
     /// Scheduler cost of popping one message and locating its target
@@ -42,7 +42,7 @@ impl Default for RtCosts {
 
 /// Full description of the simulated machine: topology, device timing,
 /// fabric, communication-layer and runtime costs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineConfig {
     /// Number of nodes.

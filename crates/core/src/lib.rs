@@ -86,7 +86,7 @@ pub mod slot;
 pub use channel::{create_channel, ChannelEnd};
 pub use ckpt::ChareSnapshot;
 pub use config::{MachineConfig, RtCosts, ShardPlan};
-pub use machine::{Chare, Ctx, Machine, MachineStats, Simulation, WindowStats};
+pub use machine::{Chare, Ctx, Machine, MachineStats, Simulation, WindowStats, WorldSnapshot};
 pub use msg::{Callback, ChareId, EntryId, Envelope, MsgPriority};
 pub use pe::{Pe, PeStats};
 pub use sdag::WhenSet;

@@ -40,9 +40,20 @@ pub trait Chare: std::any::Any {
     fn restore(&mut self, _snap: crate::ckpt::ChareSnapshot) {
         panic!("chare does not implement Chare::restore for checkpoint recovery");
     }
+
+    /// Deep-copy this chare for a world snapshot (the memoizer's fork
+    /// primitive, distinct from [`Chare::restore`]'s iteration-boundary
+    /// checkpoints: a fork captures *mid-flight* state exactly). The
+    /// default declines, which makes [`Machine::fork`] — and with it
+    /// the sweep's prefix memoization — fall back to fresh
+    /// per-scenario execution for applications that don't opt in.
+    fn fork(&self) -> Option<Box<dyn Chare>> {
+        None
+    }
 }
 
 /// Where a fired GPU completion tag is routed.
+#[derive(Clone)]
 enum TagRoute {
     /// Deliver a callback message.
     Callback(Callback),
@@ -53,6 +64,7 @@ enum TagRoute {
 }
 
 /// What an in-flight runtime active message carries.
+#[derive(Clone)]
 enum AmKind {
     /// An entry-method invocation.
     Chare(ChareId, Envelope),
@@ -84,7 +96,7 @@ enum AmKind {
     },
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct ReductionSlot {
     count: usize,
     sum: f64,
@@ -97,6 +109,7 @@ struct ReductionSlot {
 /// slot index through the engine's closure-free fast path, so scheduling
 /// them allocates nothing in steady state. Deferred events are never
 /// cancelled, so plain index recycling (no generations) is safe.
+#[derive(Clone)]
 enum Deferred {
     /// Local chare-to-chare delivery after `local_latency`.
     LocalMsg { to: ChareId, env: Envelope },
@@ -930,6 +943,54 @@ impl Machine {
         }
         self.pes[pe].stats.cpu_time.as_ns() as f64 / now.as_ns() as f64
     }
+
+    /// Deep-copy the whole machine mid-flight: devices (stream queues,
+    /// engines, memory, graph instances), fabric (NIC clocks / flow
+    /// state, in-flight messages), communication layer (transfers, retry
+    /// timers, token counters), PEs (message queues, busy clocks), and
+    /// every chare via [`Chare::fork`]. Returns `None` — decline to
+    /// fork — if any chare does not implement `fork`, or while a
+    /// windowed (`workers > 1`) run is in progress.
+    pub fn fork(&self) -> Option<Machine> {
+        if self.window.is_some() {
+            return None;
+        }
+        let mut chares = Vec::with_capacity(self.chares.len());
+        for c in &self.chares {
+            chares.push(Some(
+                c.as_ref().expect("chare executing during fork").fork()?,
+            ));
+        }
+        Some(Machine {
+            cfg: self.cfg.clone(),
+            devices: self.devices.clone(),
+            fabric: self.fabric.clone(),
+            ucx: self.ucx.clone(),
+            pes: self.pes.clone(),
+            chares,
+            chare_pe: self.chare_pe.clone(),
+            chare_load: self.chare_load.clone(),
+            tag_routes: self.tag_routes.clone(),
+            next_tag: self.next_tag,
+            am_store: self.am_store.clone(),
+            next_am: self.next_am,
+            ucx_routes: self.ucx_routes.clone(),
+            next_ucx_user: self.next_ucx_user,
+            reductions: self.reductions.clone(),
+            next_reducer: self.next_reducer,
+            next_channel: self.next_channel,
+            deferred: self.deferred.clone(),
+            deferred_free: self.deferred_free.clone(),
+            pe_alive: self.pe_alive.clone(),
+            incarnation: self.incarnation,
+            ckpts: self.ckpts.clone(),
+            recovery_resume: self.recovery_resume.clone(),
+            rng: self.rng.clone(),
+            tracer: self.tracer.clone(),
+            stats: self.stats,
+            window: None,
+        })
+    }
 }
 
 impl GpuHost for Machine {
@@ -1421,6 +1482,92 @@ impl Simulation {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.sim.now()
+    }
+
+    /// Run until simulated time would exceed `deadline` (events at
+    /// exactly `deadline` still run), the queue drains, or the event
+    /// limit trips. Sequential path only: the pause-and-snapshot flows
+    /// this serves (sweep prefix memoization) do not combine with
+    /// windowed multi-worker execution, which [`Machine::fork`] declines
+    /// anyway.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        assert!(
+            self.machine.cfg.workers <= 1,
+            "run_until requires workers == 1 (windowed runs cannot pause mid-window)"
+        );
+        self.sim.run_until(&mut self.machine, deadline)
+    }
+
+    /// Capture the complete world — engine pending-event state plus a
+    /// deep machine fork — for later [`Simulation::restore`]. Returns
+    /// `None` (decline to fork) when the engine holds a pending boxed
+    /// closure, any chare does not implement [`Chare::fork`], or a
+    /// windowed run is in progress. Declining costs nothing: callers
+    /// simply keep executing the live world.
+    pub fn snapshot(&self) -> Option<WorldSnapshot> {
+        let engine = self.sim.snapshot().ok()?;
+        let machine = self.machine.fork()?;
+        Some(WorldSnapshot {
+            machine,
+            engine,
+            window_stats: self.window_stats,
+        })
+    }
+
+    /// Rewind this simulation to the state captured by
+    /// [`Simulation::snapshot`]. The restored world replays
+    /// bit-identically to one that ran fresh to the snapshot point; one
+    /// snapshot can be restored any number of times (each restore
+    /// re-forks the captured machine).
+    pub fn restore(&mut self, snap: &WorldSnapshot) {
+        self.sim.restore(&snap.engine);
+        self.machine = snap
+            .machine
+            .fork()
+            .expect("a captured machine must re-fork");
+        self.window_stats = snap.window_stats;
+    }
+
+    /// Swap the stochastic portion of the fault plan in place — a pure
+    /// data write, no events armed or cancelled. This is how the sweep
+    /// memoizer applies a branch's late-diverging fault axis (onset,
+    /// drop/corrupt probability, seed) after a restore; time-triggered
+    /// faults (link faults, PE failures, stragglers) are armed as build
+    /// time events and must be identical across branches sharing a
+    /// prefix, so they are deliberately NOT re-armed here.
+    pub fn set_stochastic_faults(&mut self, faults: gaat_sim::FaultPlan) {
+        if !faults.stragglers.is_empty() {
+            for d in &mut self.machine.devices {
+                d.set_fault_plan(faults.clone());
+            }
+        }
+        self.machine.fabric.set_faults(faults.clone());
+        self.machine.cfg.faults = faults;
+    }
+}
+
+/// A complete point-in-time capture of a [`Simulation`]: the engine's
+/// pending-event state ([`gaat_sim::SimSnapshot`]) plus a deep fork of
+/// the [`Machine`] — chares, device queues, fabric flow state, UCX
+/// transfer/retry tables, PE queues, RNG, and counters. The fork
+/// primitive behind the sweep engine's prefix memoization; conceptually
+/// the in-memory half of the paper's double in-memory checkpoint, reused
+/// for memoization instead of recovery.
+pub struct WorldSnapshot {
+    machine: Machine,
+    engine: gaat_sim::SimSnapshot<Machine>,
+    window_stats: WindowStats,
+}
+
+impl WorldSnapshot {
+    /// Simulated time at which the snapshot was taken.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Live pending events captured in the snapshot.
+    pub fn pending(&self) -> usize {
+        self.engine.pending()
     }
 }
 

@@ -23,6 +23,27 @@ pub enum MsgPriority {
     High,
 }
 
+/// A clonable message payload: blanket-implemented for every `'static +
+/// Clone` type, so entry methods keep passing plain structs. The clone
+/// hook is what lets a world snapshot deep-copy in-flight envelopes for
+/// the sweep memoizer's fork/restore; delivery still downcasts exactly
+/// as with `Box<dyn Any>`.
+pub trait Payload: Any {
+    /// Deep-copy into a fresh boxed payload.
+    fn clone_boxed(&self) -> Box<dyn Payload>;
+    /// Convert to `Any` for by-value downcasting.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<T: Any + Clone> Payload for T {
+    fn clone_boxed(&self) -> Box<dyn Payload> {
+        Box::new(self.clone())
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
 /// A message bound for a chare's entry method.
 pub struct Envelope {
     /// Target entry method.
@@ -31,12 +52,24 @@ pub struct Envelope {
     /// to the receiver's iteration).
     pub refnum: u64,
     /// Typed payload; entry methods downcast it.
-    pub data: Box<dyn Any>,
+    pub data: Box<dyn Payload>,
     /// Estimated wire size (payload marshalled), used for network timing
     /// of remote deliveries.
     pub wire_bytes: u64,
     /// Scheduling priority.
     pub priority: MsgPriority,
+}
+
+impl Clone for Envelope {
+    fn clone(&self) -> Self {
+        Envelope {
+            entry: self.entry,
+            refnum: self.refnum,
+            data: self.data.clone_boxed(),
+            wire_bytes: self.wire_bytes,
+            priority: self.priority,
+        }
+    }
 }
 
 impl Envelope {
@@ -52,7 +85,7 @@ impl Envelope {
     }
 
     /// A message with a typed payload.
-    pub fn new<T: Any>(entry: EntryId, data: T) -> Self {
+    pub fn new<T: Any + Clone>(entry: EntryId, data: T) -> Self {
         Envelope {
             entry,
             refnum: 0,
@@ -88,6 +121,7 @@ impl Envelope {
     pub fn take<T: Any>(self) -> T {
         *self
             .data
+            .into_any()
             .downcast::<T>()
             .unwrap_or_else(|_| panic!("entry {} payload type mismatch", self.entry.0))
     }

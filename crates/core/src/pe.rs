@@ -27,7 +27,7 @@ pub struct PeStats {
 }
 
 /// One processing element.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Pe {
     high: VecDeque<(ChareId, Envelope)>,
     normal: VecDeque<(ChareId, Envelope)>,

@@ -13,7 +13,7 @@ use crate::msg::{EntryId, Envelope};
 
 /// Buffers envelopes keyed by (entry, refnum) until the owner asks for
 /// them.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct WhenSet {
     buffered: HashMap<(EntryId, u64), Vec<Envelope>>,
 }

@@ -22,7 +22,7 @@ use crate::timing::GpuTimingModel;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DeviceId(pub usize);
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Stream {
     class: usize,
     queue: VecDeque<Op>,
@@ -31,6 +31,7 @@ struct Stream {
     in_flight: bool,
 }
 
+#[derive(Clone)]
 enum Effect {
     None,
     Kernel(KernelFunc),
@@ -47,6 +48,7 @@ struct JobMeta {
     submitted: SimTime,
 }
 
+#[derive(Clone)]
 enum JobOrigin {
     StreamOp {
         stream: usize,
@@ -79,6 +81,7 @@ pub struct DeviceStats {
 }
 
 /// One simulated GPU.
+#[derive(Clone)]
 pub struct Device {
     /// This device's identifier.
     pub id: DeviceId,

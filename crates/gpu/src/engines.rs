@@ -32,7 +32,7 @@ struct ComputeJob {
 /// `slots` jobs per class are resident; the rest wait in per-class FIFO
 /// queues. This approximates how CUDA high-priority streams displace
 /// thread blocks of low-priority streams.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ComputeEngine {
     slots: usize,
     running: Vec<ComputeJob>,
@@ -169,7 +169,7 @@ struct DmaJob {
 
 /// FIFO DMA engine with priority-ordered admission: one transfer at a
 /// time, back-to-back, higher classes first among the waiting.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DmaEngine {
     current: Option<(JobId, SimTime)>,
     queued: [VecDeque<DmaJob>; PRIORITY_CLASSES],

@@ -125,7 +125,7 @@ impl GraphBuilder {
 }
 
 /// Execution state of one launched graph instance (device-internal).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct GraphInstance {
     pub graph: usize,
     /// Stream the launch op came from (resumed at completion).

@@ -117,7 +117,7 @@ impl BufRange {
 
 /// All allocations belonging to one device (GPU HBM plus the pinned host
 /// region used for staging with that GPU).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct MemoryPool {
     bufs: Vec<Buffer>,
 }

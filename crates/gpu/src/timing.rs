@@ -9,7 +9,7 @@
 use gaat_sim::SimDuration;
 
 /// Timing model of one GPU and its host link.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GpuTimingModel {
     /// Effective HBM bandwidth in bytes/second (V100: ~900 GB/s).

@@ -182,7 +182,7 @@ impl JacobiConfig {
 }
 
 /// Result of one run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunResult {
     /// Mean time per timed iteration (the paper's y-axis).

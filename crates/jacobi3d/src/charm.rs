@@ -56,6 +56,7 @@ pub const E_NORM: EntryId = EntryId(8);
 pub const E_RESUME: EntryId = EntryId(9);
 
 /// Host-staged halo payload.
+#[derive(Clone)]
 pub struct HaloMsg {
     /// The *receiver's* face this halo belongs to.
     pub face: Face,
@@ -79,6 +80,7 @@ pub struct Shared {
 }
 
 /// One block of the grid.
+#[derive(Clone)]
 pub struct BlockChare {
     sh: Arc<Shared>,
     dims: Dims,
@@ -660,6 +662,13 @@ impl Chare for BlockChare {
     fn restore(&mut self, snap: ChareSnapshot) {
         self.resume = Some(snap);
     }
+
+    fn fork(&self) -> Option<Box<dyn Chare>> {
+        // All block state is plain data (ids, counters, parked envelopes);
+        // device buffers live in the machine's memory pools, which the
+        // world fork deep-copies alongside this clone.
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Build the whole Charm-style Jacobi3D simulation: machine, chares,
@@ -1007,10 +1016,28 @@ pub fn run_tolerant(
     ids: &[ChareId],
     sh: &Shared,
 ) -> (Option<RunResult>, usize) {
-    {
-        let Simulation { sim, machine, .. } = sim;
-        machine.broadcast(sim, ids, E_START, 0);
-    }
+    start(sim, ids);
+    finish_tolerant(sim, ids, sh)
+}
+
+/// Tree-broadcast `E_START` to every block without running the engine.
+/// The sweep memoizer needs the start and the drain as separate steps so
+/// it can pause at a fault-onset instant, snapshot the world, and fork;
+/// [`run_tolerant`] is exactly `start` + [`finish_tolerant`].
+pub fn start(sim: &mut Simulation, ids: &[ChareId]) {
+    let Simulation { sim, machine, .. } = sim;
+    machine.broadcast(sim, ids, E_START, 0);
+}
+
+/// Drain an already-started run to quiescence and collect, tolerating
+/// stalls (see [`run_tolerant`]). Also the second half of a forked
+/// branch: after a [`Simulation::restore`] the broadcast is already in
+/// the replayed event state, so the branch resumes here directly.
+pub fn finish_tolerant(
+    sim: &mut Simulation,
+    ids: &[ChareId],
+    sh: &Shared,
+) -> (Option<RunResult>, usize) {
     let outcome = sim.run();
     assert_eq!(
         outcome,

@@ -250,13 +250,23 @@ impl Chare for JacobiRank {
 
 /// Build the MPI Jacobi3D simulation: one rank per PE.
 pub fn build(cfg: JacobiConfig) -> (Simulation, Vec<ChareId>, Arc<MpiShared>) {
+    let sim = Simulation::new(cfg.machine.clone());
+    build_in(sim, cfg)
+}
+
+/// [`build`] into a caller-provided engine (a recycled
+/// [`gaat_rt::WorldSlot`] world), so batched sweeps can reuse engines
+/// across MPI-variant runs exactly as they do for the task runtime.
+pub fn build_in(
+    mut sim: Simulation,
+    cfg: JacobiConfig,
+) -> (Simulation, Vec<ChareId>, Arc<MpiShared>) {
     cfg.validate();
     assert_eq!(
         cfg.odf, 1,
         "the MPI versions always run one rank per PE (use the task runtime for ODF > 1, \
          or virtual_ranks for AMPI-style virtualization)"
     );
-    let mut sim = Simulation::new(cfg.machine.clone());
     let pes = cfg.machine.total_pes();
     let nranks = pes * cfg.virtual_ranks;
     let decomp = Decomp::new(cfg.global, nranks);

@@ -1,0 +1,158 @@
+//! World snapshot/fork validation at the full-runtime level.
+//!
+//! The sweep engine's prefix memoization rests on one claim: a world
+//! restored from a [`Simulation::snapshot`] and driven to quiescence is
+//! bit-identical to a world that ran the same scenario fresh from
+//! `t = 0`. These tests pin that claim for the Jacobi3D app across the
+//! late-diverging fault axes the memoizer actually forks on
+//! (drop probability and fault seed past an onset instant), including
+//! restoring one snapshot several times.
+
+use gaat_jacobi3d::{charm, CommMode, Dims, JacobiConfig, RunResult};
+use gaat_rt::{MachineConfig, Simulation};
+use gaat_sim::{FaultPlan, SimDuration, SimTime};
+
+fn onset_cfg(drop_prob: f64, onset_us: u64, retries: bool, fault_seed: u64) -> JacobiConfig {
+    let mut machine = MachineConfig::validation(2, 2);
+    machine.faults = FaultPlan {
+        seed: fault_seed,
+        drop_prob,
+        onset: SimTime::ZERO + SimDuration::from_us(onset_us),
+        ..FaultPlan::none()
+    };
+    machine.ucx.reliability.enabled = retries;
+    let mut cfg = JacobiConfig::new(machine, Dims::cube(8));
+    cfg.iters = 4;
+    cfg.warmup = 1;
+    cfg.odf = 2;
+    cfg.comm = CommMode::HostStaging;
+    cfg
+}
+
+/// Everything a forked branch must reproduce bit for bit.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    result: Option<RunResult>,
+    stalled: usize,
+    end_ns: u64,
+    net_messages: u64,
+    net_drops: u64,
+    net_retransmits: u64,
+    ucx_retransmits: u64,
+    ucx_timeouts: u64,
+    entries: u64,
+}
+
+fn outcome(sim: &Simulation, result: Option<RunResult>, stalled: usize) -> Outcome {
+    let net = sim.machine.fabric.stats();
+    let ucx = sim.machine.ucx.stats();
+    Outcome {
+        result,
+        stalled,
+        end_ns: sim.now().as_ns(),
+        net_messages: net.messages,
+        net_drops: net.drops,
+        net_retransmits: net.retransmits,
+        ucx_retransmits: ucx.retransmits,
+        ucx_timeouts: ucx.timeouts,
+        entries: sim.machine.stats().entries,
+    }
+}
+
+fn run_fresh(cfg: JacobiConfig) -> Outcome {
+    let (mut sim, ids, sh) = charm::build(cfg);
+    let (res, stalled) = charm::run_tolerant(&mut sim, &ids, &sh);
+    outcome(&sim, res, stalled)
+}
+
+/// Build under `branch0`, pause just before the shared onset, snapshot,
+/// let branch0 finish live, then restore once per other branch with its
+/// fault plan swapped in. Returns one outcome per branch, in order.
+fn run_forked(branches: &[JacobiConfig], onset: SimTime) -> Vec<Outcome> {
+    let (mut sim, ids, sh) = charm::build(branches[0].clone());
+    charm::start(&mut sim, &ids);
+    sim.run_until(onset - SimDuration::from_ns(1));
+    let snap = sim.snapshot().expect("closure-free world must fork");
+    let mut out = Vec::new();
+    let (res, stalled) = charm::finish_tolerant(&mut sim, &ids, &sh);
+    out.push(outcome(&sim, res, stalled));
+    for cfg in &branches[1..] {
+        sim.restore(&snap);
+        sim.set_stochastic_faults(cfg.machine.faults.clone());
+        let (res, stalled) = charm::finish_tolerant(&mut sim, &ids, &sh);
+        out.push(outcome(&sim, res, stalled));
+    }
+    out
+}
+
+#[test]
+fn forked_drop_rate_branches_match_fresh_runs() {
+    // Same machine, same fault seed, same onset; the branches differ
+    // only in post-onset drop probability — the canonical late axis.
+    let onset = SimTime::ZERO + SimDuration::from_us(40);
+    let branches = [
+        onset_cfg(0.08, 40, true, 9),
+        onset_cfg(0.20, 40, true, 9),
+        onset_cfg(0.0, 40, true, 9),
+    ];
+    let fresh: Vec<Outcome> = branches.iter().map(|c| run_fresh(c.clone())).collect();
+    let forked = run_forked(&branches, onset);
+    assert_eq!(forked, fresh);
+    // The divergence must be real: the lossy branches dropped messages
+    // (onset landed mid-run) and differ from the clean branch.
+    assert!(fresh[0].net_drops > 0, "onset must land before quiescence");
+    assert!(fresh[1].net_drops > fresh[0].net_drops);
+    assert_eq!(fresh[2].net_drops, 0);
+    assert_ne!(fresh[0].end_ns, fresh[2].end_ns);
+}
+
+#[test]
+fn one_snapshot_restores_many_times() {
+    let onset = SimTime::ZERO + SimDuration::from_us(40);
+    let b = onset_cfg(0.15, 40, true, 7);
+    // Branch list repeats the same plan: every restore of the one
+    // snapshot must reproduce the same bits.
+    let branches = [b.clone(), b.clone(), b];
+    let forked = run_forked(&branches, onset);
+    assert_eq!(forked[1], forked[0]);
+    assert_eq!(forked[2], forked[0]);
+}
+
+#[test]
+fn forked_fault_seed_branches_match_with_retries_off() {
+    // With the reliable transport off the fault seed feeds nothing
+    // before the onset (fates are onset-gated, no retry jitter draws),
+    // so seed becomes a valid late axis. Drops then stall blocks; the
+    // stalled counts and drain times must still match fresh runs.
+    let onset = SimTime::ZERO + SimDuration::from_us(30);
+    let branches = [
+        onset_cfg(0.05, 30, false, 1),
+        onset_cfg(0.05, 30, false, 2),
+        onset_cfg(0.05, 30, false, 3),
+    ];
+    let fresh: Vec<Outcome> = branches.iter().map(|c| run_fresh(c.clone())).collect();
+    let forked = run_forked(&branches, onset);
+    assert_eq!(forked, fresh);
+    assert!(
+        fresh.iter().any(|o| o.stalled > 0),
+        "some seed should stall a block at this drop rate"
+    );
+}
+
+#[test]
+fn snapshot_past_quiescence_degrades_gracefully() {
+    // An onset beyond the makespan: run_until drains the queue before
+    // the pause instant, the snapshot captures the quiesced world, and
+    // every branch — whatever its post-onset plan — equals the
+    // fault-free run, exactly as fresh execution would.
+    let onset = SimTime::ZERO + SimDuration::from_ms(50);
+    let branches = [
+        onset_cfg(0.3, 50_000, true, 4),
+        onset_cfg(0.7, 50_000, true, 4),
+    ];
+    let fresh: Vec<Outcome> = branches.iter().map(|c| run_fresh(c.clone())).collect();
+    let forked = run_forked(&branches, onset);
+    assert_eq!(forked, fresh);
+    assert_eq!(fresh[0].net_drops, 0);
+    assert_eq!(fresh[0], fresh[1]);
+}

@@ -350,10 +350,15 @@ pub trait Topology: std::fmt::Debug + Send {
 
     /// Enable or disable busy-interval recording.
     fn set_tracing(&mut self, _on: bool) {}
+
+    /// Deep-copy the topology state behind the trait object — NIC port
+    /// clocks, link graph, flow rates, ETA queue. What lets a
+    /// [`Fabric`] be cloned into a world snapshot for fork/restore.
+    fn clone_box(&self) -> Box<dyn Topology>;
 }
 
 /// The seed per-NIC alpha-beta model; delivery fixed at send time.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Flat {
     params: NetParams,
     nics: Vec<Nic>,
@@ -388,13 +393,17 @@ impl Topology for Flat {
         // `extra_latency`, and NIC port queueing only push delivery later.
         Some(self.params.inter_latency)
     }
+
+    fn clone_box(&self) -> Box<dyn Topology> {
+        Box::new(self.clone())
+    }
 }
 
 /// Fat-tree topology backend: routes each message over the link graph
 /// and advances it as a max-min fair flow; base + per-hop latency is
 /// added after the wire transfer completes, so an unloaded flow lands at
 /// `send + latency + bytes/bw` like `Flat` (plus switch hops).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FatTree {
     graph: FatTreeGraph,
     flows: FlowSim,
@@ -547,6 +556,30 @@ impl Topology for FatTree {
 
     fn set_tracing(&mut self, on: bool) {
         self.flows.set_record_spans(on);
+    }
+
+    fn clone_box(&self) -> Box<dyn Topology> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Fabric {
+    fn clone(&self) -> Self {
+        Fabric {
+            params: self.params.clone(),
+            nodes: self.nodes,
+            topo: self.topo.clone_box(),
+            jitter_salt: self.jitter_salt,
+            stats: self.stats,
+            in_flight: self.in_flight.clone(),
+            in_flight_free: self.in_flight_free.clone(),
+            wakeup: self.wakeup,
+            faults: self.faults.clone(),
+            abort_buf: self.abort_buf.clone(),
+            tracer: self.tracer.clone(),
+            scratch: self.scratch.clone(),
+            span_buf: self.span_buf.clone(),
+        }
     }
 }
 
@@ -828,7 +861,7 @@ pub fn send<W: NetHost>(w: &mut W, sim: &mut Sim<W>, msg: NetMsg) {
     let now = sim.now();
     let fabric = w.fabric_mut();
     fabric.account(&msg);
-    if msg.src != msg.dst && fabric.faults.lossy() {
+    if msg.src != msg.dst && fabric.faults.lossy_at(now) {
         // A dropped message never reaches the wire; a corrupted one pays
         // full wire cost and is discarded at delivery (see `deliver`).
         if let MsgFate::Drop =
@@ -865,7 +898,7 @@ pub fn send<W: NetHost>(w: &mut W, sim: &mut Sim<W>, msg: NetMsg) {
 fn deliver<W: NetHost>(w: &mut W, sim: &mut Sim<W>, idx: u64) {
     let fabric = w.fabric_mut();
     let msg = fabric.unstash(idx as u32);
-    if msg.src != msg.dst && fabric.faults.lossy() {
+    if msg.src != msg.dst && fabric.faults.lossy_at(sim.now()) {
         if let MsgFate::Corrupt =
             fabric
                 .faults

@@ -127,6 +127,21 @@ impl<W> EventKind<W> {
     fn is_live(&self) -> bool {
         !matches!(self, EventKind::Vacant | EventKind::Cancelled)
     }
+
+    /// Duplicate this event payload for a [`SimSnapshot`]. The
+    /// closure-free kinds are plain data (`fn` pointers + words) and
+    /// copy freely; a pending boxed closure cannot be cloned, so its
+    /// presence makes the whole snapshot decline.
+    fn try_clone(&self) -> Result<Self, SnapshotError> {
+        Ok(match self {
+            EventKind::Vacant => EventKind::Vacant,
+            EventKind::Cancelled => EventKind::Cancelled,
+            EventKind::Closure(_) => return Err(SnapshotError::ClosureEvent),
+            EventKind::Call0(f) => EventKind::Call0(*f),
+            EventKind::Call1(f, a) => EventKind::Call1(*f, *a),
+            EventKind::Call2(f, a, b) => EventKind::Call2(*f, *a, *b),
+        })
+    }
 }
 
 /// One slab slot. `next_free` threads the free list through vacant slots.
@@ -142,6 +157,7 @@ const NO_SLOT: u32 = u32::MAX;
 
 /// Overflow-heap entry: plain data, ordered by `(at, seq)` inverted so
 /// the `BinaryHeap` max-heap pops the earliest first.
+#[derive(Clone, Copy)]
 struct OvEntry {
     at: SimTime,
     seq: u64,
@@ -175,6 +191,71 @@ pub enum RunOutcome {
     /// The configured event-count limit was hit (likely a livelock in the
     /// model; surfaced loudly rather than spinning forever).
     EventLimit,
+}
+
+/// Why [`Sim::snapshot`] declined to capture the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// A pending event is a boxed capturing closure ([`Sim::at`] family),
+    /// which cannot be cloned into a snapshot. Callers treat this as
+    /// "decline to fork" and fall back to fresh per-scenario execution.
+    ClosureEvent,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::ClosureEvent => {
+                write!(f, "pending boxed-closure event cannot be snapshotted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A point-in-time capture of a [`Sim`]'s complete pending-event state:
+/// the clock, every counter, the full slab arena (including vacant
+/// slots, so the free-list order and per-slot generations — and with
+/// them every future [`EventId`] — replay exactly), the current
+/// instant's FIFO ring, the occupied wheel buckets, and the overflow
+/// heap. [`Sim::restore`] rewinds an engine to this state; the restored
+/// engine then replays bit-identically to one that ran fresh to the
+/// same point.
+///
+/// Only closure-free events (`*_call0/1/2`) can be captured; a pending
+/// boxed closure makes [`Sim::snapshot`] return
+/// [`SnapshotError::ClosureEvent`].
+pub struct SimSnapshot<W> {
+    now: SimTime,
+    next_seq: u64,
+    executed: u64,
+    stop: bool,
+    event_limit: u64,
+    live: usize,
+    peak_pending: usize,
+    drained: bool,
+    slots: Vec<Slot<W>>,
+    free_head: u32,
+    ring: Vec<u32>,
+    ring_at: SimTime,
+    /// `(bucket index, entries)` for every occupied wheel bucket.
+    buckets: Vec<(u32, Vec<u32>)>,
+    overflow: Vec<OvEntry>,
+}
+
+impl<W> SimSnapshot<W> {
+    /// Simulated time at which the snapshot was taken.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Live pending events captured in the snapshot.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.live
+    }
 }
 
 /// A deterministic discrete-event simulator over world type `W`.
@@ -273,11 +354,19 @@ impl<W> Sim<W> {
         self.free_head = NO_SLOT;
         self.ring.clear();
         self.ring_at = SimTime::ZERO;
+        self.clear_wheel();
+        self.overflow.clear();
+        self.scratch.clear();
+    }
+
+    /// Empty every occupied wheel bucket and zero the occupancy bitmap,
+    /// keeping all bucket capacity. A bucket is nonempty iff its
+    /// occupancy bit is set (both are cleared together in `advance`),
+    /// so scanning the bitmap clears the wheel in
+    /// O(words + occupied buckets) instead of touching all 65536
+    /// bucket headers.
+    fn clear_wheel(&mut self) {
         if self.wheel_len > 0 {
-            // A bucket is nonempty iff its occupancy bit is set (both
-            // are cleared together in `advance`), so scanning the
-            // bitmap clears the wheel in O(words + occupied buckets)
-            // instead of touching all 65536 bucket headers.
             for w in 0..OCC_WORDS {
                 let mut word = self.occ[w];
                 while word != 0 {
@@ -291,7 +380,99 @@ impl<W> Sim<W> {
         } else {
             debug_assert!(self.occ.iter().all(|&w| w == 0), "occ/wheel_len drift");
         }
+    }
+
+    /// Capture the engine's complete pending-event state. Fails with
+    /// [`SnapshotError::ClosureEvent`] if any slab slot holds a boxed
+    /// capturing closure; the closure-free `*_call0/1/2` events the
+    /// runtime schedules on its steady-state paths all capture cleanly.
+    ///
+    /// The capture is deep: vacant slots are recorded too, so the
+    /// free-list threading and per-slot generation counters — and with
+    /// them the exact [`EventId`]s future scheduling will mint — replay
+    /// identically after [`Sim::restore`].
+    pub fn snapshot(&self) -> Result<SimSnapshot<W>, SnapshotError> {
+        let mut slots = Vec::with_capacity(self.slots.len());
+        for s in &self.slots {
+            slots.push(Slot {
+                generation: s.generation,
+                next_free: s.next_free,
+                seq: s.seq,
+                at: s.at,
+                kind: s.kind.try_clone()?,
+            });
+        }
+        let mut buckets = Vec::new();
+        for w in 0..OCC_WORDS {
+            let mut word = self.occ[w];
+            while word != 0 {
+                let b = word.trailing_zeros() as usize;
+                let bi = w * 64 + b;
+                buckets.push((bi as u32, self.buckets[bi].clone()));
+                word &= word - 1;
+            }
+        }
+        Ok(SimSnapshot {
+            now: self.now,
+            next_seq: self.next_seq,
+            executed: self.executed,
+            stop: self.stop,
+            event_limit: self.event_limit,
+            live: self.live,
+            peak_pending: self.peak_pending,
+            drained: self.drained,
+            slots,
+            free_head: self.free_head,
+            ring: self.ring.iter().copied().collect(),
+            ring_at: self.ring_at,
+            buckets,
+            overflow: self.overflow.iter().copied().collect(),
+        })
+    }
+
+    /// Rewind this engine to the exact state captured by
+    /// [`Sim::snapshot`], keeping every heap allocation (like
+    /// [`Sim::reset`]). After restoring, the engine replays
+    /// bit-identically to one that ran fresh to the snapshot point: the
+    /// clock, sequence counter, slab generations, free list, ring,
+    /// wheel, and overflow heap all match. One snapshot can be restored
+    /// any number of times — the fork primitive the sweep memoizer
+    /// builds on.
+    pub fn restore(&mut self, snap: &SimSnapshot<W>) {
+        self.now = snap.now;
+        self.next_seq = snap.next_seq;
+        self.executed = snap.executed;
+        self.stop = snap.stop;
+        self.event_limit = snap.event_limit;
+        self.live = snap.live;
+        self.peak_pending = snap.peak_pending;
+        self.drained = snap.drained;
+        self.slots.clear();
+        for s in &snap.slots {
+            self.slots.push(Slot {
+                generation: s.generation,
+                next_free: s.next_free,
+                seq: s.seq,
+                at: s.at,
+                kind: s
+                    .kind
+                    .try_clone()
+                    .expect("snapshots never hold closure events"),
+            });
+        }
+        self.free_head = snap.free_head;
+        self.ring.clear();
+        self.ring.extend(snap.ring.iter().copied());
+        self.ring_at = snap.ring_at;
+        self.clear_wheel();
+        for (bi, entries) in &snap.buckets {
+            let bi = *bi as usize;
+            self.buckets[bi].extend_from_slice(entries);
+            self.occ[bi / 64] |= 1u64 << (bi % 64);
+            self.wheel_len += entries.len();
+        }
         self.overflow.clear();
+        self.overflow.extend(snap.overflow.iter().copied());
         self.scratch.clear();
     }
 
@@ -854,6 +1035,108 @@ mod tests {
         assert_eq!(reused.events_executed(), 0);
         let second = drive(&mut reused);
         assert_eq!(second, expect, "reset engine must replay bit-identically");
+    }
+
+    #[test]
+    fn snapshot_round_trip_replays_bit_identically() {
+        // Same shape as the reset bit-identity pin, but closure-free so
+        // the arena can be captured: wheel buckets, ties, a cancel, a
+        // far-future overflow event, and events that schedule events.
+        fn push(w: &mut World, _: &mut Sim<World>, a: u64) {
+            w.push(a as u32);
+        }
+        fn spawn(w: &mut World, sim: &mut Sim<World>, a: u64) {
+            w.push(a as u32);
+            sim.after_call1(d(13), push, a + 1000);
+        }
+        fn build(sim: &mut Sim<World>) {
+            for i in 0..40u64 {
+                sim.at_call1(SimTime::from_ns(i * 9 % 70), spawn, i);
+            }
+            sim.at_call1(SimTime::from_ns(200_000_000), push, 999);
+            let doomed = sim.at_call1(SimTime::from_ns(33), push, 777);
+            sim.cancel(doomed);
+        }
+
+        // Unforked reference: one fresh engine runs start to finish.
+        let mut reference: Sim<World> = Sim::new();
+        let mut expect = Vec::new();
+        build(&mut reference);
+        assert_eq!(reference.run(&mut expect), RunOutcome::Drained);
+        assert!(!expect.contains(&777), "cancelled event must not fire");
+        let expect_executed = reference.events_executed();
+        let expect_now = reference.now();
+
+        // Forked run: execute the shared prefix once, snapshot mid-flight
+        // (pending events in ring, wheel, and overflow), then finish.
+        let mut sim: Sim<World> = Sim::new();
+        let mut prefix = Vec::new();
+        build(&mut sim);
+        sim.run_until(&mut prefix, SimTime::from_ns(35));
+        let snap = sim.snapshot().expect("closure-free schedule must capture");
+        assert_eq!(snap.now(), sim.now());
+        assert_eq!(snap.pending(), sim.pending());
+        let snap_executed = sim.events_executed();
+
+        let mut first = prefix.clone();
+        sim.run(&mut first);
+        assert_eq!(first, expect, "prefix + tail must equal the fresh run");
+        assert_eq!(sim.events_executed(), expect_executed);
+        assert_eq!(sim.now(), expect_now);
+
+        // Restore over the drained engine and replay the tail again; the
+        // same snapshot must fork any number of times.
+        for round in 0..3 {
+            sim.restore(&snap);
+            assert_eq!(sim.events_executed(), snap_executed);
+            assert_eq!(sim.now(), snap.now());
+            let mut again = prefix.clone();
+            sim.run(&mut again);
+            assert_eq!(
+                again, expect,
+                "restored engine must replay bit-identically (round {round})"
+            );
+            assert_eq!(sim.events_executed(), expect_executed);
+            assert_eq!(sim.now(), expect_now);
+        }
+    }
+
+    #[test]
+    fn snapshot_preserves_free_list_and_generations() {
+        // EventIds minted after a restore must match those minted after
+        // the original point: slot recycling order and generations are
+        // part of the capture.
+        fn nop(_: &mut World, _: &mut Sim<World>) {}
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        for _ in 0..8 {
+            sim.after_call0(d(1), nop);
+        }
+        sim.after_call0(d(10), nop);
+        sim.run_until(&mut w, SimTime::from_ns(5));
+        let snap = sim.snapshot().expect("closure-free");
+        let a = sim.after_call0(d(1), nop);
+        let b = sim.after_call0(d(2), nop);
+        sim.restore(&snap);
+        let a2 = sim.after_call0(d(1), nop);
+        let b2 = sim.after_call0(d(2), nop);
+        assert_eq!((a, b), (a2, b2), "post-restore EventIds must replay");
+        sim.run(&mut w);
+    }
+
+    #[test]
+    fn snapshot_declines_pending_closures() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = Vec::new();
+        sim.after(d(5), |w: &mut World, _| w.push(1));
+        assert_eq!(sim.snapshot().err(), Some(SnapshotError::ClosureEvent));
+        // A cancelled closure drops its payload immediately, so the
+        // remaining arena is capturable again once live closures fire.
+        let doomed = sim.after(d(9), |_: &mut World, _| {});
+        sim.cancel(doomed);
+        sim.run(&mut w);
+        assert_eq!(w, vec![1]);
+        assert!(sim.snapshot().is_ok(), "fired/cancelled closures are gone");
     }
 
     #[test]

@@ -123,6 +123,15 @@ pub struct FaultPlan {
     /// Probability that an inter-node message is corrupted (detected and
     /// discarded at the receiver).
     pub corrupt_prob: f64,
+    /// Instant before which the stochastic drop/corrupt draws are
+    /// suppressed (every fate check made at `now < onset` returns
+    /// `Deliver` without hashing). `ZERO` — the default — applies the
+    /// draws from the start. Because fates are pure hashes that arm no
+    /// events, a run is bit-identical to a fault-free run up to the
+    /// onset instant, which is what lets a sweep share one executed
+    /// prefix across plans that differ only in their post-onset
+    /// drop/corrupt behaviour.
+    pub onset: SimTime,
     /// Scheduled link state changes, armed by the fabric.
     pub link_faults: Vec<LinkFault>,
     /// Scheduled permanent PE failures, armed by the runtime.
@@ -140,6 +149,7 @@ impl Default for FaultPlan {
             seed: 0,
             drop_prob: 0.0,
             corrupt_prob: 0.0,
+            onset: SimTime::ZERO,
             link_faults: Vec::new(),
             pe_failures: Vec::new(),
             stragglers: Vec::new(),
@@ -170,6 +180,15 @@ impl FaultPlan {
     #[inline]
     pub fn lossy(&self) -> bool {
         self.drop_prob > 0.0 || self.corrupt_prob > 0.0
+    }
+
+    /// True if a fate check made at instant `now` may return something
+    /// other than `Deliver`: the plan is lossy and the onset has passed.
+    /// Fabric injection points call this with the current virtual time so
+    /// a plan with a late onset is behaviourally invisible before it.
+    #[inline]
+    pub fn lossy_at(&self, now: SimTime) -> bool {
+        self.lossy() && now >= self.onset
     }
 
     /// Decide the fate of one message transmission attempt. Pure in
@@ -283,6 +302,24 @@ mod tests {
             }
         }
         assert!(!all_attempts_identical);
+    }
+
+    #[test]
+    fn onset_gates_fate_checks_without_changing_them() {
+        let mut p = FaultPlan::none();
+        p.drop_prob = 0.3;
+        p.seed = 5;
+        let t = |us| SimTime::ZERO + SimDuration::from_us(us);
+        let mut late = p.clone();
+        late.onset = t(100);
+        assert!(p.lossy_at(SimTime::ZERO));
+        assert!(!late.lossy_at(t(99)));
+        assert!(late.lossy_at(t(100)));
+        // The draw itself is onset-independent: once active, a message's
+        // fate equals the onset-zero plan's fate for that message.
+        for token in 0..200u64 {
+            assert_eq!(p.msg_fate(1, 2, token, 0), late.msg_fate(1, 2, token, 0));
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{EventFn, EventId, RunOutcome, Sim};
+pub use engine::{EventFn, EventId, RunOutcome, Sim, SimSnapshot, SnapshotError};
 pub use fault::{FaultPlan, LinkFault, LinkFaultKind, MsgFate, PeFault, StragglerWindow};
 pub use rng::{mix64, SimRng};
 pub use shard::{Shard, ShardWorld, ShardedSim};

@@ -50,7 +50,7 @@ pub struct SpanStats {
 }
 
 /// Span recorder.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Tracer {
     enabled: bool,
     spans: Vec<Span>,

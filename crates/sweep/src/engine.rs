@@ -31,10 +31,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use gaat_jacobi3d::charm;
+use gaat_jacobi3d::{charm, RunResult};
 use gaat_net::SharedTopology;
 use gaat_rt::{MachineConfig, Simulation, SlotStats, WorldSlot};
+use gaat_sim::{SimDuration, SimTime};
 
+use crate::fork::{self, ForkStats, Unit};
 use crate::grid::{Scenario, Workload};
 use crate::record::{AggregateRow, ScenarioRecord};
 
@@ -46,6 +48,18 @@ pub struct SweepOptions {
     /// Recycle each worker's engine between scenarios (the fast path;
     /// off = build a fresh world per run, for overhead measurement).
     pub reuse_worlds: bool,
+    /// Analyze the scenario list into prefix groups (see [`fork`]) and
+    /// run each group's shared prefix once, snapshotting at the
+    /// divergence instant and forking the branches from the snapshot.
+    /// Bit-invisible in the records — pinned against the unforked path
+    /// — and off for anything the planner cannot prove shareable.
+    pub fork: bool,
+    /// Resume a partial sweep: re-read `jsonl` (if it exists), keep
+    /// every intact record whose index and label match this scenario
+    /// list, and run only the missing scenarios. The file is rewritten
+    /// with the kept records first, so a corrupt tail line from a kill
+    /// mid-write is dropped rather than appended after.
+    pub resume: bool,
     /// Stream one JSON record per completed scenario here, flushed per
     /// line so a killed sweep keeps everything finished so far.
     pub jsonl: Option<PathBuf>,
@@ -54,10 +68,12 @@ pub struct SweepOptions {
 }
 
 impl SweepOptions {
-    /// Defaults plus world reuse on (the normal configuration).
+    /// Defaults plus world reuse and prefix-fork sharing on (the normal
+    /// configuration).
     pub fn new() -> Self {
         SweepOptions {
             reuse_worlds: true,
+            fork: true,
             ..Default::default()
         }
     }
@@ -74,6 +90,11 @@ pub struct SweepReport {
     pub workers: usize,
     /// Merged world-slot counters across workers.
     pub slots: SlotStats,
+    /// Merged prefix-fork counters across workers (all zero when
+    /// [`SweepOptions::fork`] is off or nothing was shareable).
+    pub fork: ForkStats,
+    /// Scenarios satisfied from the resumed JSONL instead of executed.
+    pub resumed: usize,
 }
 
 impl SweepReport {
@@ -171,18 +192,55 @@ pub fn run_sweep(scenarios: &[Scenario], opts: &SweepOptions) -> std::io::Result
         }
     }
 
+    // Resume: harvest intact records from a previous partial JSONL.
+    // A record is trusted only if it parses, its stored fingerprint
+    // matches the recomputed one, and its index/label agree with this
+    // scenario list (guarding against resuming a different grid).
+    let mut slots_out: Vec<Option<ScenarioRecord>> = vec![None; scenarios.len()];
+    let mut resumed = 0usize;
+    if opts.resume {
+        if let Some(p) = &opts.jsonl {
+            if let Ok(text) = std::fs::read_to_string(p) {
+                for line in text.lines() {
+                    if let Some(mut rec) = ScenarioRecord::from_jsonl(line) {
+                        let i = rec.index;
+                        if i < scenarios.len()
+                            && rec.label == scenarios[i].label()
+                            && slots_out[i].is_none()
+                        {
+                            rec.group = scenarios[i].group();
+                            slots_out[i] = Some(rec);
+                            resumed += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let skip: Vec<bool> = slots_out.iter().map(Option::is_some).collect();
+    let units = fork::plan(scenarios, opts.fork, &skip);
+
     let mut jsonl = match &opts.jsonl {
         Some(p) => Some(BufWriter::new(File::create(p)?)),
         None => None,
     };
+    // Rewriting (rather than appending to) the file on resume drops any
+    // corrupt tail line; the kept records come back first.
+    if let Some(w) = jsonl.as_mut() {
+        for rec in slots_out.iter().flatten() {
+            writeln!(w, "{}", rec.jsonl())?;
+        }
+        w.flush()?;
+    }
     let mut write_err: Option<std::io::Error> = None;
 
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<ScenarioRecord>();
-    let mut slots_out: Vec<Option<ScenarioRecord>> = vec![None; scenarios.len()];
     let mut slots = SlotStats::default();
+    let mut fork_stats = ForkStats::default();
     let shapes_ref = &shapes;
     let next_ref = &next;
+    let units_ref = &units;
 
     std::thread::scope(|s| {
         let mut handles = Vec::new();
@@ -193,17 +251,40 @@ pub fn run_sweep(scenarios: &[Scenario], opts: &SweepOptions) -> std::io::Result
                 for t in shapes_ref {
                     slot.install_topology(t.clone());
                 }
-                loop {
-                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
-                    if i >= scenarios.len() {
+                let mut fstats = ForkStats::default();
+                'drain: loop {
+                    let u = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if u >= units_ref.len() {
                         break;
                     }
-                    let rec = run_scenario_in(&mut slot, &scenarios[i], opts.reuse_worlds);
-                    if tx.send(rec).is_err() {
-                        break;
+                    match &units_ref[u] {
+                        Unit::Single(i) => {
+                            let rec = run_scenario_in(&mut slot, &scenarios[*i], opts.reuse_worlds);
+                            if tx.send(rec).is_err() {
+                                break;
+                            }
+                        }
+                        Unit::Group {
+                            members,
+                            divergence,
+                        } => {
+                            let recs = run_group_in(
+                                &mut slot,
+                                scenarios,
+                                members,
+                                *divergence,
+                                opts.reuse_worlds,
+                                &mut fstats,
+                            );
+                            for rec in recs {
+                                if tx.send(rec).is_err() {
+                                    break 'drain;
+                                }
+                            }
+                        }
                     }
                 }
-                slot.stats()
+                (slot.stats(), fstats)
             }));
         }
         drop(tx);
@@ -222,9 +303,10 @@ pub fn run_sweep(scenarios: &[Scenario], opts: &SweepOptions) -> std::io::Result
             slots_out[idx] = Some(rec);
         }
         for h in handles {
-            let st = h.join().expect("sweep worker panicked");
+            let (st, fs) = h.join().expect("sweep worker panicked");
             slots.prepared += st.prepared;
             slots.reused += st.reused;
+            fork_stats.merge(&fs);
         }
     });
     if let Some(e) = write_err {
@@ -240,6 +322,8 @@ pub fn run_sweep(scenarios: &[Scenario], opts: &SweepOptions) -> std::io::Result
         wall: start.elapsed(),
         workers,
         slots,
+        fork: fork_stats,
+        resumed,
     };
     if let Some(p) = &opts.csv {
         let mut w = BufWriter::new(File::create(p)?);
@@ -260,18 +344,64 @@ pub fn run_standalone(sc: &Scenario) -> ScenarioRecord {
     run_scenario_in(&mut slot, sc, false)
 }
 
-fn run_scenario_in(slot: &mut WorldSlot, sc: &Scenario, reuse: bool) -> ScenarioRecord {
-    let t0 = Instant::now();
-    let reused_world = reuse && slot.stats().prepared > 0;
-    let prep = |slot: &mut WorldSlot, m: MachineConfig| {
-        if reuse {
-            slot.prepare(m)
-        } else {
-            Simulation::new(m)
+/// Drain an arbitrary job list across a pool of worker threads, each
+/// owning one reusable [`WorldSlot`] — the generic pool underneath
+/// [`run_sweep`], exposed so other harnesses (the figure generator, the
+/// examples) can recycle worlds instead of hand-rolling serial loops.
+/// Jobs are claimed by atomic fetch-add; results come back in job
+/// order. `workers == 0` uses host parallelism.
+pub fn run_batch<J, R, F>(jobs: &[J], workers: usize, f: F) -> (Vec<R>, SlotStats)
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&mut WorldSlot, &J) -> R + Sync,
+{
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        workers
+    }
+    .min(jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let out: Vec<std::sync::Mutex<Option<R>>> = (0..jobs.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    let mut slots = SlotStats::default();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            handles.push(s.spawn(|| {
+                let mut slot = WorldSlot::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    *out[i].lock().expect("a batch job panicked") = Some(f(&mut slot, &jobs[i]));
+                }
+                slot.stats()
+            }));
         }
-    };
+        for h in handles {
+            let st = h.join().expect("batch worker panicked");
+            slots.prepared += st.prepared;
+            slots.reused += st.reused;
+        }
+    });
+    let results = out
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("lock poisoned")
+                .expect("job claimed but never finished")
+        })
+        .collect();
+    (results, slots)
+}
 
-    let mut rec = ScenarioRecord {
+/// A record with identity filled in and every outcome field zeroed.
+fn base_record(sc: &Scenario) -> ScenarioRecord {
+    ScenarioRecord {
         index: sc.index,
         group: sc.group(),
         label: sc.label(),
@@ -292,8 +422,138 @@ fn run_scenario_in(slot: &mut WorldSlot, sc: &Scenario, reuse: bool) -> Scenario
         coll_chunks: 0,
         wall_ns: 0,
         setup_ns: 0,
-        reused_world,
+        reused_world: false,
+    }
+}
+
+/// Fold a tolerant Jacobi outcome into the record.
+fn apply_jacobi_outcome(
+    rec: &mut ScenarioRecord,
+    sim: &Simulation,
+    res: Option<RunResult>,
+    stalled: usize,
+) {
+    match res {
+        Some(r) => {
+            rec.makespan_ns = r.total.as_ns();
+            rec.unit_ns = r.time_per_iter.as_ns();
+            rec.checksum = r.checksum;
+        }
+        None => {
+            rec.ok = false;
+            rec.stalled = stalled as u64;
+            rec.makespan_ns = sim.sim.now().as_ns();
+        }
+    }
+}
+
+/// Copy the machine's end-of-run counters into the record.
+fn seal_record(rec: &mut ScenarioRecord, sim: &Simulation) {
+    let net = sim.machine.fabric.stats();
+    let ucx = sim.machine.ucx.stats();
+    rec.entries = sim.machine.stats().entries;
+    rec.net_messages = net.messages;
+    rec.net_bytes = net.bytes;
+    rec.net_drops = net.drops;
+    rec.net_retransmits = net.retransmits;
+    rec.ucx_retransmits = ucx.retransmits;
+    rec.ucx_timeouts = ucx.timeouts;
+    rec.ucx_duplicates = ucx.duplicates;
+}
+
+/// Run one prefix group: build the first member's world, execute the
+/// shared prefix to just before `divergence`, snapshot, finish the
+/// first member live, then finish every other member from a restore of
+/// the snapshot with its own stochastic fault plan swapped in. If the
+/// world declines to snapshot, the first member still finishes live
+/// (the prefix ran under its exact config) and the rest fall back to
+/// standalone runs — correctness never depends on the fork succeeding.
+fn run_group_in(
+    slot: &mut WorldSlot,
+    scenarios: &[Scenario],
+    members: &[usize],
+    divergence: SimTime,
+    reuse: bool,
+    fstats: &mut ForkStats,
+) -> Vec<ScenarioRecord> {
+    fstats.groups += 1;
+    let t0 = Instant::now();
+    let sc0 = &scenarios[members[0]];
+    let reused_world = reuse && slot.stats().prepared > 0;
+    let cfg = sc0.jacobi_config();
+    let sim0 = if reuse {
+        slot.prepare(cfg.machine.clone())
+    } else {
+        Simulation::new(cfg.machine.clone())
     };
+    let (mut sim, ids, sh) = charm::build_in(sim0, cfg);
+    let setup_ns = t0.elapsed().as_nanos() as u64;
+    charm::start(&mut sim, &ids);
+    // Events at exactly the divergence instant may already observe the
+    // late fields, so the pause lands one tick before it.
+    sim.run_until(divergence - SimDuration::from_ns(1));
+    let st = Instant::now();
+    let snap = sim.snapshot();
+    let snap_ns = st.elapsed().as_nanos() as u64;
+
+    let finish_branch =
+        |sim: &mut Simulation, sc: &Scenario, setup_ns: u64, reused: bool, bt: Instant| {
+            let mut rec = base_record(sc);
+            rec.setup_ns = setup_ns;
+            rec.reused_world = reused;
+            let (res, stalled) = charm::finish_tolerant(sim, &ids, &sh);
+            apply_jacobi_outcome(&mut rec, sim, res, stalled);
+            seal_record(&mut rec, sim);
+            rec.wall_ns = bt.elapsed().as_nanos() as u64;
+            rec
+        };
+
+    let mut out = Vec::with_capacity(members.len());
+    match snap {
+        Some(snap) => {
+            fstats.snapshots_taken += 1;
+            fstats.snapshot_ns += snap_ns;
+            fstats.scenarios_forked += members.len() - 1;
+            out.push(finish_branch(&mut sim, sc0, setup_ns, reused_world, t0));
+            for &m in &members[1..] {
+                let bt = Instant::now();
+                sim.restore(&snap);
+                let restore_ns = bt.elapsed().as_nanos() as u64;
+                fstats.restore_ns += restore_ns;
+                sim.set_stochastic_faults(scenarios[m].machine.faults.clone());
+                out.push(finish_branch(&mut sim, &scenarios[m], restore_ns, true, bt));
+            }
+            if reuse {
+                slot.retire(sim);
+            }
+        }
+        None => {
+            fstats.declined += members.len() - 1;
+            out.push(finish_branch(&mut sim, sc0, setup_ns, reused_world, t0));
+            if reuse {
+                slot.retire(sim);
+            }
+            for &m in &members[1..] {
+                out.push(run_scenario_in(slot, &scenarios[m], reuse));
+            }
+        }
+    }
+    out
+}
+
+fn run_scenario_in(slot: &mut WorldSlot, sc: &Scenario, reuse: bool) -> ScenarioRecord {
+    let t0 = Instant::now();
+    let reused_world = reuse && slot.stats().prepared > 0;
+    let prep = |slot: &mut WorldSlot, m: MachineConfig| {
+        if reuse {
+            slot.prepare(m)
+        } else {
+            Simulation::new(m)
+        }
+    };
+
+    let mut rec = base_record(sc);
+    rec.reused_world = reused_world;
 
     let sim = match sc.workload {
         Workload::Jacobi { .. } => {
@@ -302,18 +562,7 @@ fn run_scenario_in(slot: &mut WorldSlot, sc: &Scenario, reuse: bool) -> Scenario
             let (mut sim, ids, sh) = charm::build_in(sim0, cfg);
             rec.setup_ns = t0.elapsed().as_nanos() as u64;
             let (res, stalled) = charm::run_tolerant(&mut sim, &ids, &sh);
-            match res {
-                Some(r) => {
-                    rec.makespan_ns = r.total.as_ns();
-                    rec.unit_ns = r.time_per_iter.as_ns();
-                    rec.checksum = r.checksum;
-                }
-                None => {
-                    rec.ok = false;
-                    rec.stalled = stalled as u64;
-                    rec.makespan_ns = sim.sim.now().as_ns();
-                }
-            }
+            apply_jacobi_outcome(&mut rec, &sim, res, stalled);
             sim
         }
         Workload::Sweep3d {
@@ -365,16 +614,7 @@ fn run_scenario_in(slot: &mut WorldSlot, sc: &Scenario, reuse: bool) -> Scenario
         }
     };
 
-    let net = sim.machine.fabric.stats();
-    let ucx = sim.machine.ucx.stats();
-    rec.entries = sim.machine.stats().entries;
-    rec.net_messages = net.messages;
-    rec.net_bytes = net.bytes;
-    rec.net_drops = net.drops;
-    rec.net_retransmits = net.retransmits;
-    rec.ucx_retransmits = ucx.retransmits;
-    rec.ucx_timeouts = ucx.timeouts;
-    rec.ucx_duplicates = ucx.duplicates;
+    seal_record(&mut rec, &sim);
     if reuse {
         slot.retire(sim);
     }

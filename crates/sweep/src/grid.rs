@@ -10,6 +10,7 @@
 use gaat_jacobi3d::{CommMode, Dims, JacobiConfig, Placement};
 use gaat_net::TopologyKind;
 use gaat_rt::MachineConfig;
+use gaat_sim::SimTime;
 
 /// Which application a scenario runs. Workload parameters that are not
 /// grid axes (problem size, iteration counts) ride along inside the
@@ -88,6 +89,16 @@ pub struct ScenarioGrid {
     pub topologies: Vec<TopologyKind>,
     /// Stochastic message-drop probabilities (fault plan).
     pub drop_rates: Vec<f64>,
+    /// Fault-onset instants: the stochastic drop/corrupt draws are
+    /// suppressed before this time. A non-zero onset is what lets the
+    /// fork-aware executor share one executed prefix across every
+    /// scenario that agrees up to its earliest onset.
+    pub fault_onsets: Vec<SimTime>,
+    /// Fault-plan seeds (the hash salt behind per-message fate draws).
+    /// A late axis only with retries off; with the reliable transport
+    /// on the seed also feeds retry-backoff jitter from `t = 0`, so the
+    /// planner keeps differing-seed scenarios in separate prefix groups.
+    pub fault_seeds: Vec<u64>,
     /// Reliable-transport switch values.
     pub retries: Vec<bool>,
     /// Keep only scenarios this predicate accepts (e.g. skip
@@ -107,6 +118,8 @@ impl ScenarioGrid {
             placements: Vec::new(),
             topologies: Vec::new(),
             drop_rates: Vec::new(),
+            fault_onsets: Vec::new(),
+            fault_seeds: Vec::new(),
             retries: Vec::new(),
             filter: None,
         }
@@ -114,9 +127,9 @@ impl ScenarioGrid {
 
     /// Multiply the axes out into an indexed scenario list. Axis
     /// nesting order (outer to inner): workload, topology, placement,
-    /// ODF, drop rate, retries, seed. The order — and therefore every
-    /// scenario's index — depends only on the grid, never on how the
-    /// queue is later drained.
+    /// ODF, drop rate, fault onset, fault seed, retries, seed. The
+    /// order — and therefore every scenario's index — depends only on
+    /// the grid, never on how the queue is later drained.
     pub fn expand(&self) -> Vec<Scenario> {
         assert!(
             !self.workloads.is_empty(),
@@ -127,6 +140,8 @@ impl ScenarioGrid {
         let placements = non_empty(&self.placements, Placement::Packed);
         let topologies = non_empty(&self.topologies, self.machine.net.topology);
         let drops = non_empty(&self.drop_rates, self.machine.faults.drop_prob);
+        let onsets = non_empty(&self.fault_onsets, self.machine.faults.onset);
+        let fault_seeds = non_empty(&self.fault_seeds, self.machine.faults.seed);
         let retries = non_empty(&self.retries, self.machine.ucx.reliability.enabled);
 
         let mut out = Vec::new();
@@ -135,26 +150,34 @@ impl ScenarioGrid {
                 for &placement in &placements {
                     for &odf in &odfs {
                         for &drop_rate in &drops {
-                            for &retry in &retries {
-                                for &seed in &seeds {
-                                    let mut machine = self.machine.clone();
-                                    machine.seed = seed;
-                                    machine.net.topology = topology;
-                                    machine.faults.drop_prob = drop_rate;
-                                    machine.ucx.reliability.enabled = retry;
-                                    let sc = Scenario {
-                                        index: out.len(),
-                                        workload,
-                                        seed,
-                                        odf,
-                                        placement,
-                                        topology,
-                                        drop_rate,
-                                        retries: retry,
-                                        machine,
-                                    };
-                                    if self.filter.is_none_or(|f| f(&sc)) {
-                                        out.push(sc);
+                            for &fault_onset in &onsets {
+                                for &fault_seed in &fault_seeds {
+                                    for &retry in &retries {
+                                        for &seed in &seeds {
+                                            let mut machine = self.machine.clone();
+                                            machine.seed = seed;
+                                            machine.net.topology = topology;
+                                            machine.faults.drop_prob = drop_rate;
+                                            machine.faults.onset = fault_onset;
+                                            machine.faults.seed = fault_seed;
+                                            machine.ucx.reliability.enabled = retry;
+                                            let sc = Scenario {
+                                                index: out.len(),
+                                                workload,
+                                                seed,
+                                                odf,
+                                                placement,
+                                                topology,
+                                                drop_rate,
+                                                fault_onset,
+                                                fault_seed,
+                                                retries: retry,
+                                                machine,
+                                            };
+                                            if self.filter.is_none_or(|f| f(&sc)) {
+                                                out.push(sc);
+                                            }
+                                        }
                                     }
                                 }
                             }
@@ -194,6 +217,10 @@ pub struct Scenario {
     pub topology: TopologyKind,
     /// Message-drop probability.
     pub drop_rate: f64,
+    /// Instant before which the stochastic fault draws are suppressed.
+    pub fault_onset: SimTime,
+    /// Fault-plan seed (fate-draw hash salt).
+    pub fault_seed: u64,
     /// Reliable transport on/off.
     pub retries: bool,
     /// The resolved machine config (template + axis values).
@@ -226,12 +253,21 @@ impl Scenario {
             Placement::Packed => "packed",
             Placement::RoundRobin => "rr",
         };
-        format!(
+        let mut s = format!(
             "{topo} {place} odf={} drop={:.2} retries={}",
             self.odf,
             self.drop_rate,
             if self.retries { "on" } else { "off" }
-        )
+        );
+        // Fault onset/seed only widen the identity when the axes are in
+        // play, so labels of pre-existing grids are unchanged.
+        if self.fault_onset != SimTime::ZERO {
+            s.push_str(&format!(" onset={}ns", self.fault_onset.as_ns()));
+        }
+        if self.fault_seed != 0 {
+            s.push_str(&format!(" fseed={}", self.fault_seed));
+        }
+        s
     }
 
     /// The Jacobi config this scenario denotes (panics for other

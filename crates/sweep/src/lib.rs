@@ -14,15 +14,28 @@
 //! scenario (fingerprint, makespan, network/transport/collective
 //! counters, wall time), flushed per line so a killed sweep keeps
 //! everything finished so far, plus an end-of-sweep CSV aggregate.
+//! A killed sweep can also be *resumed*: with
+//! [`SweepOptions::resume`] the engine re-reads the partial JSONL,
+//! keeps every intact record, and runs only what is missing.
 //! Per-scenario outcomes are independent of worker count and dequeue
 //! order; only wall-clock metadata varies.
+//!
+//! Fault sweeps additionally share work through **prefix memoization**
+//! ([`SweepOptions::fork`], the [`fork`] module): scenarios that agree
+//! on everything except their post-onset stochastic fault behaviour are
+//! grouped, the shared prefix executes once, the world is snapshotted
+//! just before the earliest fault onset, and each group member finishes
+//! from a [`gaat_rt::Simulation::restore`] of that snapshot — pinned
+//! bit-identical to running every scenario from `t = 0`.
 
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fork;
 pub mod grid;
 pub mod record;
 
-pub use engine::{run_standalone, run_sweep, SweepOptions, SweepReport};
+pub use engine::{run_batch, run_standalone, run_sweep, SweepOptions, SweepReport};
+pub use fork::ForkStats;
 pub use grid::{Scenario, ScenarioGrid, Workload};
 pub use record::{AggregateRow, ScenarioRecord};

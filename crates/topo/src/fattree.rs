@@ -47,7 +47,7 @@ impl Default for FatTreeParams {
 /// - `[2*nodes, 3*nodes)`       per-node NIC ejection (leaf -> node)
 /// - `3*nodes + 2*(l*spines+s)` trunk up, leaf `l` -> spine `s`
 /// - ... `+ 1`                  trunk down, spine `s` -> leaf `l`
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FatTreeGraph {
     nodes: usize,
     params: FatTreeParams,

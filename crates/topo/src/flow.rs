@@ -58,7 +58,7 @@ const RATE_UNSET: f64 = -1.0;
 /// Cold per-link bookkeeping (stats and occupancy). The water-filling
 /// scratch lives in dense parallel arrays on [`FlowSim`] instead, so the
 /// fill's inner loops touch only a few cache lines.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LinkMeta {
     desc: LinkDesc,
     /// Bytes carried by *completed* flows; live flows are attributed at
@@ -72,7 +72,7 @@ struct LinkMeta {
 /// Lazy pacing-heap entry; ordered so `BinaryHeap` pops the smallest
 /// `(eta, flow)` first. An entry is stale (skipped on pop) when its flow
 /// is dead or the flow's current ETA no longer matches.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct EtaEntry {
     eta: SimTime,
     flow: u32,
@@ -98,7 +98,7 @@ impl PartialOrd for EtaEntry {
 /// Per-flow and per-link hot state is stored struct-of-arrays: the
 /// water-fill, the settle loop, and the closure walk only stream over
 /// small dense `f64`/`u32` arrays, never over wide structs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FlowSim {
     // --- per-flow arrays, indexed by slot ---
     rate: Vec<f64>,

@@ -97,7 +97,7 @@ impl Default for ReliabilityParams {
 }
 
 /// Protocol calibration constants.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct UcxParams {
     /// Host-memory messages up to this size go eager.
@@ -208,7 +208,7 @@ enum Protocol {
     Pipelined,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Transfer {
     from: WorkerId,
     to: WorkerId,
@@ -241,7 +241,7 @@ enum GpuTagEvent {
     ChunkH2dDone { xfer: u64 },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PostedRecv {
     from: WorkerId,
     tag: Tag,
@@ -249,7 +249,7 @@ struct PostedRecv {
     user: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct UnexpectedArrival {
     from: WorkerId,
     tag: Tag,
@@ -258,7 +258,7 @@ struct UnexpectedArrival {
     eager: bool,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct WorkerEp {
     posted: Vec<PostedRecv>,
     unexpected: Vec<UnexpectedArrival>,
@@ -312,7 +312,7 @@ pub struct UcxStats {
 }
 
 /// Protocol state of the whole machine (all workers share one instance).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct UcxState {
     params: UcxParams,
     workers: Vec<WorkerEp>,

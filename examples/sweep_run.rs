@@ -1,13 +1,19 @@
 //! A thousand simulations as one request: drive the `gaat-sweep` engine
 //! over a 1024-scenario Jacobi3D grid (32 seeds × 4 ODFs × 2 placements
-//! × 4 drop rates) on the validation machine, streaming one JSONL record
-//! per finished scenario and printing the per-group aggregate at the
-//! end.
+//! × 4 drop rates, faults arming mid-timeline) on the validation
+//! machine, streaming one JSONL record per finished scenario and
+//! printing the per-group aggregate at the end.
 //!
 //! Every worker recycles one world slot (engine reset between
 //! scenarios) and shares the same pre-built topology state; outcomes
 //! are bit-identical at any worker count, so feel free to vary
-//! `SWEEP_WORKERS`.
+//! `SWEEP_WORKERS`. Because the drop rates only become observable at
+//! the 800 us fault onset, the prefix-memoizing planner groups the four
+//! drop rates of each (seed, ODF, placement) cell, executes their
+//! shared prefix once, snapshots the world just before the onset, and
+//! forks the remaining three scenarios from the snapshot — the
+//! prefix-tree stats printed at the end show how much re-execution that
+//! saved, and the records stay bit-identical to unforked runs.
 //!
 //! ```text
 //! cargo run --release -p gaat --example sweep_run
@@ -16,7 +22,7 @@
 
 use gaat::jacobi3d::{CommMode, Dims, Placement};
 use gaat::rt::MachineConfig;
-use gaat::sim::FaultPlan;
+use gaat::sim::{FaultPlan, SimDuration, SimTime};
 use gaat::sweep::{run_sweep, ScenarioGrid, SweepOptions, Workload};
 
 fn main() {
@@ -39,6 +45,9 @@ fn main() {
     grid.odfs = vec![1, 2, 4, 8];
     grid.placements = vec![Placement::Packed, Placement::RoundRobin];
     grid.drop_rates = vec![0.0, 0.01, 0.05, 0.10];
+    // Faults arm most of the way through the ~1.1 ms timeline, so each
+    // drop-rate cell shares a long executed prefix (the fork point).
+    grid.fault_onsets = vec![SimTime::ZERO + SimDuration::from_us(800)];
     let scenarios = grid.expand();
     assert!(scenarios.len() >= 1000, "meant to demo a big batch");
 
@@ -63,6 +72,16 @@ fn main() {
     println!(
         "world slots: {} prepared, {} recycled",
         report.slots.prepared, report.slots.reused
+    );
+    println!(
+        "prefix tree: {} groups, {} snapshots taken, {} scenarios forked ({} declined), \
+         snapshot {:.0} us / restore {:.0} us mean",
+        report.fork.groups,
+        report.fork.snapshots_taken,
+        report.fork.scenarios_forked,
+        report.fork.declined,
+        report.fork.snapshot_ns as f64 / report.fork.snapshots_taken.max(1) as f64 / 1e3,
+        report.fork.restore_ns as f64 / report.fork.scenarios_forked.max(1) as f64 / 1e3,
     );
     println!(
         "records: {}   aggregate: {}\n",

@@ -58,6 +58,12 @@ echo "==> sweep-engine benchmark (smoke)"
 cargo run --release -p gaat-bench --bin sweep_speed -- --smoke --out /tmp/BENCH_sweep_smoke.json
 grep -Eq '"sanity_pin": \{"scenarios": [0-9]+, "workers_match": true, "standalone_match": true, "pass": true\}' /tmp/BENCH_sweep_smoke.json \
   || { echo "sweep_speed sanity pin failed in BENCH_sweep_smoke.json" >&2; exit 1; }
+# The prefix-fork cell's correctness pin: a fork-enabled sweep of the
+# fault-shaped grid must fingerprint identically to the unforked sweep
+# (the fork speedup half is throttle-flagged inside the binary, but
+# fingerprint equality is never excused).
+grep -q '"fingerprints_match": true' /tmp/BENCH_sweep_smoke.json \
+  || { echo "sweep_speed fork fingerprint pin failed in BENCH_sweep_smoke.json" >&2; exit 1; }
 echo "sweep smoke OK"
 
 echo "==> fault-injection smoke"
