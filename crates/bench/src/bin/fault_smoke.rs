@@ -19,8 +19,8 @@
 //! stalled blocks with retries off.
 
 use gaat_jacobi3d::{charm, CommMode, Dims, JacobiConfig};
-use gaat_rt::MachineConfig;
-use gaat_sim::FaultPlan;
+use gaat_rt::{LbPolicy, MachineConfig};
+use gaat_sim::{FaultPlan, SimDuration};
 use gaat_sweep::{run_sweep, ScenarioGrid, SweepOptions, Workload};
 
 #[derive(Debug, PartialEq)]
@@ -88,6 +88,9 @@ fn sweep() {
         drop_prob: 0.0,
         ..FaultPlan::none()
     };
+    // A non-zero template period arms the balancer for the non-Off
+    // policies on the `lb_policies` axis below.
+    machine.lb.period = SimDuration::from_us(100);
     let mut grid = ScenarioGrid::new(machine);
     grid.workloads.push(Workload::Jacobi {
         global: Dims::cube(8),
@@ -98,15 +101,18 @@ fn sweep() {
     grid.odfs = vec![1, 2, 4];
     grid.drop_rates = vec![0.0, 0.01, 0.05, 0.10];
     grid.retries = vec![true, false];
+    grid.lb_policies = vec![LbPolicy::Off, LbPolicy::Greedy, LbPolicy::Adaptive];
     // Retries-off at zero loss is identical to retries-on; skip it.
-    grid.filter = Some(|sc| sc.retries || sc.drop_rate != 0.0);
+    // The balancer migrates over the reliable transport (`arm_lb`
+    // asserts), so non-Off policies only run with retries on.
+    grid.filter = Some(|sc| sc.retries || (sc.drop_rate != 0.0 && sc.lb_policy == LbPolicy::Off));
     let scenarios = grid.expand();
     let report = run_sweep(&scenarios, &SweepOptions::new()).expect("no sweep I/O configured");
 
     println!("\nfault sweep (HostStaging, 2x2 validation machine, 8 iters):");
     println!(
-        "{:>6} {:>4} {:>9} | {:>12} {:>11} {:>10}",
-        "drop", "odf", "retries", "us/iter", "retransmits", "stalled"
+        "{:>6} {:>4} {:>9} {:>9} | {:>12} {:>11} {:>10}",
+        "drop", "odf", "retries", "lb", "us/iter", "retransmits", "stalled"
     );
     // Grid nesting is odf-outer; the table reads best drop-outer.
     let mut order: Vec<usize> = (0..scenarios.len()).collect();
@@ -126,11 +132,17 @@ fn sweep() {
         } else {
             f64::NAN
         };
+        let lb = match sc.lb_policy {
+            LbPolicy::Off => "off",
+            LbPolicy::Greedy => "greedy",
+            LbPolicy::Adaptive => "adaptive",
+        };
         println!(
-            "{:>6.2} {:>4} {:>9} | {:>12.1} {:>11} {:>10}",
+            "{:>6.2} {:>4} {:>9} {:>9} | {:>12.1} {:>11} {:>10}",
             sc.drop_rate,
             sc.odf,
             if sc.retries { "on" } else { "off" },
+            lb,
             time_us,
             rec.ucx_retransmits,
             rec.stalled

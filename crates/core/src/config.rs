@@ -40,6 +40,60 @@ impl Default for RtCosts {
     }
 }
 
+/// Which migration planner the periodic load-balancing step runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum LbPolicy {
+    /// No load balancing: the LB tick is never armed.
+    #[default]
+    Off,
+    /// Load-only LPT repacking (the `greedy_rebalance` planner), run
+    /// periodically on the live EWMA load meters.
+    Greedy,
+    /// Congestion-, straggler-, and comm-affinity-aware planner: loads
+    /// are inflated by active straggler windows and migration targets
+    /// are biased toward the chare's heaviest communication partners.
+    Adaptive,
+}
+
+/// Closed-loop load-balancer knobs. Inert by default: with
+/// [`LbPolicy::Off`] or a zero period no tick is armed, no meters feed
+/// a planner, and every run replays bit-identically to builds that
+/// predate the balancer.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(default))]
+pub struct LbConfig {
+    /// Planner run on each tick.
+    pub policy: LbPolicy,
+    /// Virtual time between LB steps; `ZERO` disables the balancer
+    /// regardless of policy.
+    pub period: SimDuration,
+    /// Maximum chares migrated per LB round (thrash bound).
+    pub budget: usize,
+    /// A plan is applied only if it improves the projected makespan by
+    /// at least this percentage of the current one (hysteresis).
+    pub hysteresis_pct: u32,
+}
+
+impl Default for LbConfig {
+    fn default() -> Self {
+        LbConfig {
+            policy: LbPolicy::Off,
+            period: SimDuration::ZERO,
+            budget: 4,
+            hysteresis_pct: 5,
+        }
+    }
+}
+
+impl LbConfig {
+    /// Whether the periodic LB step should be armed at all.
+    pub fn enabled(&self) -> bool {
+        self.policy != LbPolicy::Off && self.period > SimDuration::ZERO
+    }
+}
+
 /// Full description of the simulated machine: topology, device timing,
 /// fabric, communication-layer and runtime costs.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +131,10 @@ pub struct MachineConfig {
     /// bit-identical for every worker count (see `ShardPlan`).
     #[cfg_attr(feature = "serde", serde(default = "default_workers"))]
     pub workers: usize,
+    /// Closed-loop load balancer. Inert by default (policy `Off`,
+    /// period zero) so existing runs replay bit-identically.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub lb: LbConfig,
 }
 
 #[cfg(feature = "serde")]
@@ -98,6 +156,7 @@ impl Default for MachineConfig {
             real_buffers: false,
             trace: false,
             workers: 1,
+            lb: LbConfig::default(),
         }
     }
 }

@@ -85,8 +85,11 @@ pub mod slot;
 
 pub use channel::{create_channel, ChannelEnd};
 pub use ckpt::ChareSnapshot;
-pub use config::{MachineConfig, RtCosts, ShardPlan};
-pub use machine::{Chare, Ctx, Machine, MachineStats, Simulation, WindowStats, WorldSnapshot};
+pub use config::{LbConfig, LbPolicy, MachineConfig, RtCosts, ShardPlan};
+pub use lb::{greedy_rebalance, periodic_plan, LbPlan, LbSensors, RebalanceReport};
+pub use machine::{
+    Chare, Ctx, LbStats, Machine, MachineStats, Simulation, WindowStats, WorldSnapshot,
+};
 pub use msg::{Callback, ChareId, EntryId, Envelope, MsgPriority};
 pub use pe::{Pe, PeStats};
 pub use sdag::WhenSet;

@@ -17,7 +17,7 @@ use gaat_net::{Fabric, NetHost, NetMsg, NodeId, SharedTopology};
 use gaat_sim::{RunOutcome, Sim, SimDuration, SimRng, SimTime, Tracer};
 use gaat_ucx::{MemLoc, UcxEvent, UcxHost, UcxState, WorkerId};
 
-use crate::config::{MachineConfig, ShardPlan};
+use crate::config::{LbPolicy, MachineConfig, ShardPlan};
 use crate::msg::{Callback, ChareId, Envelope};
 use crate::pe::Pe;
 
@@ -116,6 +116,7 @@ enum Deferred {
     /// A send leaving the sending entry method at its charge offset.
     Route {
         src_pe: usize,
+        from: ChareId,
         to: ChareId,
         env: Envelope,
     },
@@ -186,7 +187,12 @@ fn run_deferred(m: &mut Machine, sim: &mut Sim<Machine>, idx: u64) {
     m.deferred_free.push(idx as u32);
     match d {
         Deferred::LocalMsg { to, env } => m.enqueue_to_chare(sim, to, env),
-        Deferred::Route { src_pe, to, env } => m.route_msg(sim, src_pe, to, env),
+        Deferred::Route {
+            src_pe,
+            from,
+            to,
+            env,
+        } => m.route_msg(sim, src_pe, from, to, env),
         Deferred::Enqueue { dev, stream, op } => {
             m.devices[dev.0].enqueue(stream, op);
             gaat_gpu::pump(m, sim, dev);
@@ -282,6 +288,11 @@ fn run_pe_ev(m: &mut Machine, sim: &mut Sim<Machine>, pe: u64) {
     m.run_pe(sim, pe as usize);
 }
 
+/// Fired periodic load-balancing event (`round` counts ticks).
+fn lb_tick_fire(m: &mut Machine, sim: &mut Sim<Machine>, round: u64) {
+    m.lb_tick(sim, round);
+}
+
 /// Aggregate machine statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MachineStats {
@@ -299,6 +310,31 @@ pub struct MachineStats {
     pub recoveries: u64,
     /// Chares restored from snapshots across all recoveries.
     pub chares_restored: u64,
+}
+
+/// Closed-loop load-balancer counters (all zero with the balancer off).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LbStats {
+    /// LB tick events that ran.
+    pub rounds: u64,
+    /// Rounds whose plan was applied (migrations executed).
+    pub applied: u64,
+    /// Rounds whose plan was declined at apply time (no complete
+    /// checkpoint cut, or no resume entry registered).
+    pub declined: u64,
+    /// Chares moved across all applied plans.
+    pub migrations: u64,
+    /// Host (wall-clock) nanoseconds spent scoring plans.
+    pub plan_host_ns: u64,
+    /// Host (wall-clock) nanoseconds spent applying plans (purge +
+    /// restore + resume broadcast).
+    pub apply_host_ns: u64,
+    /// Hottest-link utilization read at the most recent applied plan's
+    /// tick (the "before" half of the post-LB delta).
+    pub last_util_before: f64,
+    /// Hottest-link utilization read one period after the most recent
+    /// applied plan (the "after" half; 0 until that tick fires).
+    pub last_util_after: f64,
 }
 
 /// One cross-shard delivery recorded by the windowed run's ledger. The
@@ -336,6 +372,19 @@ pub struct Machine {
     chares: Vec<Option<Box<dyn Chare>>>,
     chare_pe: Vec<usize>,
     chare_load: Vec<SimDuration>,
+    /// Per-chare ns (CPU charge + estimated kernel/DMA time) accrued
+    /// since the last LB tick folded it; pure bookkeeping, so metering
+    /// is bit-invisible while the balancer is off.
+    lb_recent: Vec<u64>,
+    /// Per-chare EWMA of `lb_recent` per LB period (integer fold).
+    lb_ewma: Vec<u64>,
+    /// Per-chare bytes sent to each partner chare (comm-affinity meter;
+    /// BTreeMap for deterministic iteration order).
+    lb_bytes: Vec<std::collections::BTreeMap<usize, u64>>,
+    lb_stats: LbStats,
+    /// True between an applied plan and the next tick's "after"
+    /// utilization reading.
+    lb_await_after: bool,
     tag_routes: HashMap<u64, TagRoute>,
     next_tag: u64,
     am_store: HashMap<u64, AmKind>,
@@ -408,6 +457,11 @@ impl Machine {
             chares: Vec::new(),
             chare_pe: Vec::new(),
             chare_load: Vec::new(),
+            lb_recent: Vec::new(),
+            lb_ewma: Vec::new(),
+            lb_bytes: Vec::new(),
+            lb_stats: LbStats::default(),
+            lb_await_after: false,
             tag_routes: HashMap::new(),
             next_tag: 0,
             am_store: HashMap::new(),
@@ -479,6 +533,197 @@ impl Machine {
         }
     }
 
+    /// Arm the periodic load-balancing tick. Called once by
+    /// [`Simulation::new`] after [`Machine::arm_faults`]; inert unless
+    /// `cfg.lb.enabled()`, so existing configurations replay
+    /// bit-identically.
+    pub fn arm_lb(&mut self, sim: &mut Sim<Machine>) {
+        if !self.cfg.lb.enabled() {
+            return;
+        }
+        assert!(
+            self.cfg.workers <= 1,
+            "adaptive LB requires workers == 1 (run scenario pools in \
+             parallel instead: a mid-window rollback cannot be merged \
+             deterministically across shards)"
+        );
+        assert!(
+            self.cfg.ucx.reliability.enabled,
+            "adaptive LB migration requires ucx.reliability.enabled: the \
+             post-apply purge leaves fabric-stashed deliveries that only \
+             the reliable transport's token tracking can identify as stale"
+        );
+        sim.after_call1(self.cfg.lb.period, lb_tick_fire, 0);
+    }
+
+    /// Load-balancer counters so far.
+    pub fn lb_stats(&self) -> LbStats {
+        self.lb_stats
+    }
+
+    /// One closed-loop LB round: fold meters, read sensors, score a
+    /// plan, and (maybe) apply it through the checkpoint/restore path.
+    fn lb_tick(&mut self, sim: &mut Sim<Machine>, round: u64) {
+        // `pending` excludes this firing event, so zero means nothing
+        // else can ever happen: the run is over. Let the world drain
+        // instead of keeping it alive with an endless tick chain.
+        if sim.pending() == 0 {
+            return;
+        }
+        sim.after_call1(self.cfg.lb.period, lb_tick_fire, round + 1);
+        self.lb_stats.rounds += 1;
+        let now = sim.now();
+        // Fold the per-period accumulators into the EWMAs. Integer
+        // arithmetic (`e += (r - e) >> 1`) keeps the meters — and with
+        // them every migration decision — bit-identical across
+        // platforms and repeated runs.
+        for c in 0..self.chares.len() {
+            let e = self.lb_ewma[c] as i64;
+            let r = self.lb_recent[c] as i64;
+            self.lb_ewma[c] = (e + ((r - e) >> 1)) as u64;
+            self.lb_recent[c] = 0;
+        }
+        // Sensors: link heat from the fabric, retry distress from the
+        // transport. Pure reads — polling cannot perturb the run.
+        let heat = self.fabric.heat(now);
+        if self.lb_await_after {
+            self.lb_stats.last_util_after = heat.max_link_utilization;
+            self.lb_await_after = false;
+        }
+        let ucx = self.ucx.stats();
+        let distressed = heat.distressed() || ucx.retransmits > 0 || ucx.timeouts > 0;
+        let t0 = std::time::Instant::now();
+        let plan = self.lb_plan(now, distressed);
+        self.lb_stats.plan_host_ns += t0.elapsed().as_nanos() as u64;
+        let Some(plan) = plan else {
+            return;
+        };
+        let t0 = std::time::Instant::now();
+        if self.lb_apply(sim, &plan.moves) {
+            self.lb_stats.applied += 1;
+            self.lb_stats.migrations += plan.moves.len() as u64;
+            self.lb_stats.last_util_before = heat.max_link_utilization;
+            self.lb_await_after = true;
+        } else {
+            self.lb_stats.declined += 1;
+        }
+        self.lb_stats.apply_host_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Gather sensor inputs and run the configured planner.
+    fn lb_plan(&self, now: SimTime, distressed: bool) -> Option<crate::lb::LbPlan> {
+        let n_pes = self.pes.len();
+        let adaptive = self.cfg.lb.policy == LbPolicy::Adaptive;
+        // Straggler awareness: a chare's projected cost on PE `p` is its
+        // EWMA meter stretched by `p`'s active slowdown window.
+        let pe_slow: Vec<f64> = if adaptive {
+            (0..n_pes)
+                .map(|p| self.cfg.faults.straggler_slowdown(p, now))
+                .collect()
+        } else {
+            vec![1.0; n_pes]
+        };
+        let affinity: Vec<Vec<(usize, u64)>> = if adaptive {
+            self.lb_bytes
+                .iter()
+                .map(|m| m.iter().map(|(&k, &v)| (k, v)).collect())
+                .collect()
+        } else {
+            vec![Vec::new(); self.chares.len()]
+        };
+        let node_of: Vec<usize> = (0..n_pes).map(|p| self.cfg.node_of_pe(p)).collect();
+        let sensors = crate::lb::LbSensors {
+            pe_of: &self.chare_pe,
+            base_ns: &self.lb_ewma,
+            pe_slow: &pe_slow,
+            alive: &self.pe_alive,
+            affinity: &affinity,
+            node_of: &node_of,
+            distressed: adaptive && distressed,
+        };
+        crate::lb::periodic_plan(&sensors, &self.cfg.lb)
+    }
+
+    /// Execute a migration plan mid-run through the checkpoint/restore
+    /// path (the recovery machinery, minus the dead PE): purge every
+    /// layer's in-flight state, move the chares, restore all chares
+    /// from the newest collectively-held epoch, and broadcast the
+    /// registered resume entry. In-flight messages need no explicit
+    /// forwarding: anything the fabric still delivers afterwards is
+    /// dropped as a stale token, and the reliable transport's purge
+    /// guarantees the application sees a consistent restart. Returns
+    /// `false` — decline, leaving the world untouched — when the
+    /// application has not published the preconditions (a resume entry
+    /// plus a complete checkpoint cut).
+    fn lb_apply(&mut self, sim: &mut Sim<Machine>, moves: &[(ChareId, usize)]) -> bool {
+        if self.recovery_resume.is_none() || self.chares.is_empty() {
+            return false;
+        }
+        let mut epoch = u64::MAX;
+        for c in 0..self.chares.len() {
+            match self.ckpts.get(&ChareId(c)).and_then(|s| s.last()) {
+                Some(&(e, _, _)) => epoch = epoch.min(e),
+                None => return false,
+            }
+        }
+        // Asynchronous execution lets chares drift further apart than
+        // the two retained checkpoint epochs, so a chare may hold
+        // nothing at or before the collective cut. Resolve the whole
+        // cut up front and decline — before touching any state — if it
+        // is incomplete; a later round will catch a complete wave.
+        let mut snaps = Vec::with_capacity(self.chares.len());
+        for c in 0..self.chares.len() {
+            match self.ckpts[&ChareId(c)]
+                .iter()
+                .rev()
+                .find(|&&(e, _, _)| e <= epoch)
+            {
+                Some((_, _, s)) => snaps.push(s.clone()),
+                None => return false,
+            }
+        }
+        self.incarnation += 1;
+        for timer in self.ucx.purge() {
+            sim.cancel(timer);
+        }
+        self.tag_routes.clear();
+        self.am_store.clear();
+        self.ucx_routes.clear();
+        self.reductions.clear();
+        // Void parked deferred payloads in place; each voided slot's
+        // already-scheduled event reclaims it (see `run_deferred`).
+        for slot in &mut self.deferred {
+            *slot = None;
+        }
+        let now = sim.now();
+        for pe in 0..self.pes.len() {
+            self.pes[pe].clear();
+            self.devices[pe].purge(now);
+        }
+        for &(c, pe) in moves {
+            self.migrate(c, pe);
+        }
+        for (c, snap) in snaps.into_iter().enumerate() {
+            self.chares[c]
+                .as_mut()
+                .expect("chare resident during LB apply")
+                .restore(snap);
+            self.stats.chares_restored += 1;
+        }
+        // Migration marker in the trace (one dedicated lane above the
+        // per-PE lanes).
+        self.tracer.record(
+            self.pes.len() as u32,
+            "lb",
+            "migrate",
+            now,
+            now + SimDuration::from_ns(1),
+        );
+        let (targets, entry) = self.recovery_resume.clone().expect("checked above");
+        self.broadcast(sim, &targets, entry, epoch);
+        true
+    }
+
     /// Accept one copy of a chare snapshot into `stored_on`'s memory.
     /// Epochs older than the newest two are discarded: keeping two
     /// guarantees a collectively complete cut survives a failure that
@@ -491,6 +736,28 @@ impl Machine {
         snap: crate::ckpt::ChareSnapshot,
     ) {
         self.stats.checkpoints_stored += 1;
+        // Recovery and the balancer restore from the newest epoch every
+        // chare holds (the global cut). Asynchrony lets fast chares run
+        // several epochs ahead of a straggler, so pruning to the newest
+        // two alone would evict the cut from the fast chares' stores.
+        // Clamp pruning so each chare also keeps its newest epoch at or
+        // below the cut; retention stays bounded by the drift the
+        // application's dependences allow.
+        let global_cut = (0..self.chares.len())
+            .map(|c| {
+                let newest = self
+                    .ckpts
+                    .get(&ChareId(c))
+                    .and_then(|s| s.last())
+                    .map_or(0, |&(e, _, _)| e);
+                if ChareId(c) == chare {
+                    newest.max(epoch)
+                } else {
+                    newest
+                }
+            })
+            .min()
+            .unwrap_or(0);
         let slots = self.ckpts.entry(chare).or_default();
         slots.retain(|&(e, on, _)| !(e == epoch && on == stored_on));
         slots.push((epoch, stored_on, snap));
@@ -498,7 +765,14 @@ impl Machine {
         let mut epochs: Vec<u64> = slots.iter().map(|&(e, _, _)| e).collect();
         epochs.dedup();
         if epochs.len() > 2 {
-            let cutoff = epochs[epochs.len() - 2];
+            let newest_two = epochs[epochs.len() - 2];
+            let held_cut = epochs
+                .iter()
+                .rev()
+                .find(|&&e| e <= global_cut)
+                .copied()
+                .unwrap_or(0);
+            let cutoff = newest_two.min(held_cut);
             slots.retain(|&(e, _, _)| e >= cutoff);
         }
     }
@@ -654,6 +928,9 @@ impl Machine {
         self.chares.push(Some(chare));
         self.chare_pe.push(pe);
         self.chare_load.push(SimDuration::ZERO);
+        self.lb_recent.push(0);
+        self.lb_ewma.push(0);
+        self.lb_bytes.push(std::collections::BTreeMap::new());
         id
     }
 
@@ -888,6 +1165,7 @@ impl Machine {
         let block = ctx.block.take();
         self.chares[chare_id.0] = Some(chare);
         self.chare_load[chare_id.0] += charged;
+        self.lb_recent[chare_id.0] += charged.as_ns();
         self.pes[pe].stats.cpu_time += charged;
         let end = now + charged;
         self.pes[pe].busy_until = Some(end);
@@ -919,9 +1197,19 @@ impl Machine {
     }
 
     /// Route a chare-to-chare message (runs at the instant the sending
-    /// entry method reaches the send call).
-    fn route_msg(&mut self, sim: &mut Sim<Machine>, src_pe: usize, to: ChareId, env: Envelope) {
+    /// entry method reaches the send call). The destination PE is
+    /// resolved *here*, not at the send call, so messages to a chare
+    /// migrated in between are forwarded to its new home automatically.
+    fn route_msg(
+        &mut self,
+        sim: &mut Sim<Machine>,
+        src_pe: usize,
+        from: ChareId,
+        to: ChareId,
+        env: Envelope,
+    ) {
         self.stats.sends += 1;
+        *self.lb_bytes[from.0].entry(to.0).or_insert(0) += env.wire_bytes;
         let dst_pe = self.chare_pe[to.0];
         if dst_pe == src_pe {
             let delay = self.cfg.rt.local_latency;
@@ -970,6 +1258,11 @@ impl Machine {
             chares,
             chare_pe: self.chare_pe.clone(),
             chare_load: self.chare_load.clone(),
+            lb_recent: self.lb_recent.clone(),
+            lb_ewma: self.lb_ewma.clone(),
+            lb_bytes: self.lb_bytes.clone(),
+            lb_stats: self.lb_stats,
+            lb_await_after: self.lb_await_after,
             tag_routes: self.tag_routes.clone(),
             next_tag: self.next_tag,
             am_store: self.am_store.clone(),
@@ -1180,8 +1473,14 @@ impl<'a> Ctx<'a> {
     pub fn send(&mut self, to: ChareId, env: Envelope) {
         self.charged += self.machine.cfg.rt.send_overhead;
         let src_pe = self.pe;
+        let from = self.chare;
         let at = self.sim.now() + self.charged;
-        let idx = self.machine.defer(Deferred::Route { src_pe, to, env });
+        let idx = self.machine.defer(Deferred::Route {
+            src_pe,
+            from,
+            to,
+            env,
+        });
         self.sim.at_call1(at, run_deferred, idx);
     }
 
@@ -1301,6 +1600,19 @@ impl<'a> Ctx<'a> {
 
     /// Enqueue with no extra charge (internal; charge added by callers).
     fn gpu_enqueue_at(&mut self, stream: StreamId, op: Op) {
+        // Meter the dedicated-device cost of the work this chare puts on
+        // the GPU (kernel work as declared, DMA priced by the timing
+        // model) into its LB load meter. Pure bookkeeping: bit-invisible
+        // while the balancer is off. Graph launches are not metered
+        // per-node here; graph-heavy apps still meter their CPU charge.
+        let gpu_ns = match &op.kind {
+            gaat_gpu::OpKind::Kernel(spec) => spec.work.as_ns(),
+            gaat_gpu::OpKind::MemcpyD2H { src, .. } | gaat_gpu::OpKind::MemcpyH2D { src, .. } => {
+                self.machine.cfg.gpu.dma_time(src.bytes()).as_ns()
+            }
+            _ => 0,
+        };
+        self.machine.lb_recent[self.chare.0] += gpu_ns;
         let dev = self.device();
         let at = self.sim.now() + self.charged;
         let idx = self.machine.defer(Deferred::Enqueue { dev, stream, op });
@@ -1385,6 +1697,7 @@ impl Simulation {
         let mut sim = engine.with_event_limit(5_000_000_000);
         let mut machine = Machine::new_shared(cfg, shared);
         machine.arm_faults(&mut sim);
+        machine.arm_lb(&mut sim);
         Simulation {
             sim,
             machine,

@@ -815,10 +815,10 @@ pub fn build_in(mut sim: Simulation, cfg: JacobiConfig) -> (Simulation, Vec<Char
         d.assert_memory_fits();
     }
 
-    if !cfg.machine.faults.pe_failures.is_empty() {
+    if !cfg.machine.faults.pe_failures.is_empty() || cfg.machine.lb.enabled() {
         assert!(
             cfg.checkpoint_every > 0,
-            "PE failures are armed but checkpointing is off"
+            "PE failures or the adaptive LB are armed but checkpointing is off"
         );
         sim.machine.set_recovery_resume(ids.clone(), E_RESUME);
     }

@@ -257,6 +257,40 @@ impl NetStats {
     }
 }
 
+/// Point-in-time congestion/fault snapshot returned by
+/// [`Fabric::heat`]: the sensor block the adaptive load balancer reads
+/// each LB tick. Counters are cumulative since construction; the
+/// utilization pair describes the hottest link over the horizon passed
+/// to [`Fabric::heat`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkHeat {
+    /// Highest per-link utilization over the queried horizon (0 under
+    /// `Flat`, which has no per-link model).
+    pub max_link_utilization: f64,
+    /// The link holding `max_link_utilization`, if any traffic flowed.
+    pub hottest_link: Option<LinkId>,
+    /// Retransmissions admitted so far (duplicate wire traffic).
+    pub retransmits: u64,
+    /// Admissions detoured around a failed primary spine so far.
+    pub failovers: u64,
+    /// Scheduled link fault events applied so far.
+    pub link_faults: u64,
+    /// In-flight flows aborted by a link going down so far.
+    pub flow_aborts: u64,
+}
+
+impl LinkHeat {
+    /// Whether the fabric shows signs of distress: a link is saturated
+    /// (utilization ≥ 1 means backlog) or faults/retries have occurred.
+    pub fn distressed(&self) -> bool {
+        self.max_link_utilization >= 1.0
+            || self.retransmits > 0
+            || self.failovers > 0
+            || self.link_faults > 0
+            || self.flow_aborts > 0
+    }
+}
+
 /// Outcome of [`Topology::admit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Admit {
@@ -711,6 +745,23 @@ impl Fabric {
         stats.hottest_link = summary.hottest_link;
         stats.solver = self.topo.solver_stats();
         stats
+    }
+
+    /// Compact congestion/fault snapshot for closed-loop readers (the
+    /// adaptive load balancer polls this once per LB tick): the hottest
+    /// link over `[0, horizon]` plus the cumulative distress counters —
+    /// retransmits burning bandwidth, failovers and aborts from link
+    /// faults. Pure read; calling it cannot perturb the simulation.
+    pub fn heat(&self, horizon: SimTime) -> LinkHeat {
+        let c = self.topo.congestion(horizon);
+        LinkHeat {
+            max_link_utilization: c.max_link_utilization,
+            hottest_link: c.hottest_link,
+            retransmits: self.stats.retransmits,
+            failovers: self.stats.failovers,
+            link_faults: self.stats.link_faults,
+            flow_aborts: self.stats.flow_aborts,
+        }
     }
 
     /// Per-link counters over `[0, horizon]` (empty under `Flat`).

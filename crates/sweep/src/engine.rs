@@ -476,19 +476,87 @@ fn run_group_in(
     reuse: bool,
     fstats: &mut ForkStats,
 ) -> Vec<ScenarioRecord> {
+    match scenarios[members[0]].workload {
+        Workload::Jacobi { .. } => run_group_generic(
+            slot,
+            scenarios,
+            members,
+            divergence,
+            reuse,
+            fstats,
+            |sim0, sc| charm::build_in(sim0, sc.jacobi_config()),
+            |sim, ids| charm::start(sim, ids),
+            |sim, ids, sh, rec| {
+                let (res, stalled) = charm::finish_tolerant(sim, ids, sh);
+                apply_jacobi_outcome(rec, sim, res, stalled);
+            },
+        ),
+        Workload::Sweep3d {
+            global,
+            sweeps,
+            warmup,
+        } => run_group_generic(
+            slot,
+            scenarios,
+            members,
+            divergence,
+            reuse,
+            fstats,
+            move |sim0, sc| {
+                let mut cfg = gaat_sweep3d::SweepConfig::new(sc.machine.clone(), global);
+                cfg.odf = sc.odf;
+                cfg.sweeps = sweeps;
+                cfg.warmup = warmup;
+                gaat_sweep3d::build_in(sim0, cfg)
+            },
+            |sim, ids| gaat_sweep3d::start(sim, ids),
+            |sim, ids, sh, rec| {
+                let r = gaat_sweep3d::finish(sim, ids, sh);
+                rec.makespan_ns = r.total.as_ns();
+                rec.unit_ns = r.time_per_sweep.as_ns();
+            },
+        ),
+        // The planner only forms groups for fork-capable workloads;
+        // anything else degrades gracefully to standalone runs.
+        _ => members
+            .iter()
+            .map(|&m| run_scenario_in(slot, &scenarios[m], reuse))
+            .collect(),
+    }
+}
+
+/// Workload-agnostic body of [`run_group_in`]: `build` constructs the
+/// app world, `start` injects the initial broadcast, and `finish`
+/// drains the run and folds its outcome into the record.
+#[allow(clippy::too_many_arguments)]
+fn run_group_generic<Ids, Sh, B, S, F>(
+    slot: &mut WorldSlot,
+    scenarios: &[Scenario],
+    members: &[usize],
+    divergence: SimTime,
+    reuse: bool,
+    fstats: &mut ForkStats,
+    build: B,
+    start: S,
+    finish: F,
+) -> Vec<ScenarioRecord>
+where
+    B: Fn(Simulation, &Scenario) -> (Simulation, Ids, Sh),
+    S: Fn(&mut Simulation, &Ids),
+    F: Fn(&mut Simulation, &Ids, &Sh, &mut ScenarioRecord),
+{
     fstats.groups += 1;
     let t0 = Instant::now();
     let sc0 = &scenarios[members[0]];
     let reused_world = reuse && slot.stats().prepared > 0;
-    let cfg = sc0.jacobi_config();
     let sim0 = if reuse {
-        slot.prepare(cfg.machine.clone())
+        slot.prepare(sc0.machine.clone())
     } else {
-        Simulation::new(cfg.machine.clone())
+        Simulation::new(sc0.machine.clone())
     };
-    let (mut sim, ids, sh) = charm::build_in(sim0, cfg);
+    let (mut sim, ids, sh) = build(sim0, sc0);
     let setup_ns = t0.elapsed().as_nanos() as u64;
-    charm::start(&mut sim, &ids);
+    start(&mut sim, &ids);
     // Events at exactly the divergence instant may already observe the
     // late fields, so the pause lands one tick before it.
     sim.run_until(divergence - SimDuration::from_ns(1));
@@ -501,8 +569,7 @@ fn run_group_in(
             let mut rec = base_record(sc);
             rec.setup_ns = setup_ns;
             rec.reused_world = reused;
-            let (res, stalled) = charm::finish_tolerant(sim, &ids, &sh);
-            apply_jacobi_outcome(&mut rec, sim, res, stalled);
+            finish(sim, &ids, &sh, &mut rec);
             seal_record(&mut rec, sim);
             rec.wall_ns = bt.elapsed().as_nanos() as u64;
             rec

@@ -142,11 +142,15 @@ pub(crate) fn plan(scenarios: &[Scenario], fork: bool, skip: &[bool]) -> Vec<Uni
         if !live(i) {
             continue;
         }
-        // Only the Jacobi app implements `Chare::fork` today; other
-        // workloads run standalone (their worlds would decline the
-        // snapshot anyway — this just skips the wasted attempt). A
-        // multi-worker windowed machine cannot pause mid-window either.
-        if !matches!(sc.workload, Workload::Jacobi { .. }) || sc.machine.workers > 1 {
+        // Jacobi and sweep3d implement `Chare::fork`; other workloads
+        // run standalone (their worlds would decline the snapshot
+        // anyway — this just skips the wasted attempt). A multi-worker
+        // windowed machine cannot pause mid-window either.
+        if !matches!(
+            sc.workload,
+            Workload::Jacobi { .. } | Workload::Sweep3d { .. }
+        ) || sc.machine.workers > 1
+        {
             singles_first.push(Unit::Single(i));
             continue;
         }

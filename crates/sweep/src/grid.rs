@@ -9,7 +9,7 @@
 
 use gaat_jacobi3d::{CommMode, Dims, JacobiConfig, Placement};
 use gaat_net::TopologyKind;
-use gaat_rt::MachineConfig;
+use gaat_rt::{LbPolicy, MachineConfig};
 use gaat_sim::SimTime;
 
 /// Which application a scenario runs. Workload parameters that are not
@@ -101,6 +101,11 @@ pub struct ScenarioGrid {
     pub fault_seeds: Vec<u64>,
     /// Reliable-transport switch values.
     pub retries: Vec<bool>,
+    /// Load-balancer policies. Each value overwrites the template's
+    /// `machine.lb.policy`; the template supplies period / budget /
+    /// hysteresis (a non-`Off` policy with a zero template period
+    /// stays disabled — set `machine.lb.period` on the template).
+    pub lb_policies: Vec<LbPolicy>,
     /// Keep only scenarios this predicate accepts (e.g. skip
     /// retries-off at zero loss). `None` keeps everything.
     pub filter: Option<fn(&Scenario) -> bool>,
@@ -121,15 +126,17 @@ impl ScenarioGrid {
             fault_onsets: Vec::new(),
             fault_seeds: Vec::new(),
             retries: Vec::new(),
+            lb_policies: Vec::new(),
             filter: None,
         }
     }
 
     /// Multiply the axes out into an indexed scenario list. Axis
     /// nesting order (outer to inner): workload, topology, placement,
-    /// ODF, drop rate, fault onset, fault seed, retries, seed. The
-    /// order — and therefore every scenario's index — depends only on
-    /// the grid, never on how the queue is later drained.
+    /// ODF, drop rate, fault onset, fault seed, retries, LB policy,
+    /// seed. The order — and therefore every scenario's index —
+    /// depends only on the grid, never on how the queue is later
+    /// drained.
     pub fn expand(&self) -> Vec<Scenario> {
         assert!(
             !self.workloads.is_empty(),
@@ -143,6 +150,7 @@ impl ScenarioGrid {
         let onsets = non_empty(&self.fault_onsets, self.machine.faults.onset);
         let fault_seeds = non_empty(&self.fault_seeds, self.machine.faults.seed);
         let retries = non_empty(&self.retries, self.machine.ucx.reliability.enabled);
+        let lb_policies = non_empty(&self.lb_policies, self.machine.lb.policy);
 
         let mut out = Vec::new();
         for &workload in &self.workloads {
@@ -153,29 +161,33 @@ impl ScenarioGrid {
                             for &fault_onset in &onsets {
                                 for &fault_seed in &fault_seeds {
                                     for &retry in &retries {
-                                        for &seed in &seeds {
-                                            let mut machine = self.machine.clone();
-                                            machine.seed = seed;
-                                            machine.net.topology = topology;
-                                            machine.faults.drop_prob = drop_rate;
-                                            machine.faults.onset = fault_onset;
-                                            machine.faults.seed = fault_seed;
-                                            machine.ucx.reliability.enabled = retry;
-                                            let sc = Scenario {
-                                                index: out.len(),
-                                                workload,
-                                                seed,
-                                                odf,
-                                                placement,
-                                                topology,
-                                                drop_rate,
-                                                fault_onset,
-                                                fault_seed,
-                                                retries: retry,
-                                                machine,
-                                            };
-                                            if self.filter.is_none_or(|f| f(&sc)) {
-                                                out.push(sc);
+                                        for &lb_policy in &lb_policies {
+                                            for &seed in &seeds {
+                                                let mut machine = self.machine.clone();
+                                                machine.seed = seed;
+                                                machine.net.topology = topology;
+                                                machine.faults.drop_prob = drop_rate;
+                                                machine.faults.onset = fault_onset;
+                                                machine.faults.seed = fault_seed;
+                                                machine.ucx.reliability.enabled = retry;
+                                                machine.lb.policy = lb_policy;
+                                                let sc = Scenario {
+                                                    index: out.len(),
+                                                    workload,
+                                                    seed,
+                                                    odf,
+                                                    placement,
+                                                    topology,
+                                                    drop_rate,
+                                                    fault_onset,
+                                                    fault_seed,
+                                                    retries: retry,
+                                                    lb_policy,
+                                                    machine,
+                                                };
+                                                if self.filter.is_none_or(|f| f(&sc)) {
+                                                    out.push(sc);
+                                                }
                                             }
                                         }
                                     }
@@ -223,6 +235,9 @@ pub struct Scenario {
     pub fault_seed: u64,
     /// Reliable transport on/off.
     pub retries: bool,
+    /// Load-balancer policy (effective only when the template's
+    /// `machine.lb.period` is non-zero).
+    pub lb_policy: LbPolicy,
     /// The resolved machine config (template + axis values).
     pub machine: MachineConfig,
 }
@@ -267,6 +282,16 @@ impl Scenario {
         if self.fault_seed != 0 {
             s.push_str(&format!(" fseed={}", self.fault_seed));
         }
+        // Only widens the identity when the LB axis is in play, so
+        // labels of pre-existing grids are unchanged.
+        if self.lb_policy != LbPolicy::Off {
+            let p = match self.lb_policy {
+                LbPolicy::Off => unreachable!(),
+                LbPolicy::Greedy => "greedy",
+                LbPolicy::Adaptive => "adaptive",
+            };
+            s.push_str(&format!(" lb={p}"));
+        }
         s
     }
 
@@ -286,6 +311,11 @@ impl Scenario {
                 cfg.warmup = warmup;
                 cfg.odf = self.odf;
                 cfg.placement = self.placement;
+                // The LB migrates through the checkpoint/restore path,
+                // so an armed balancer needs checkpoints on.
+                if self.machine.lb.enabled() {
+                    cfg.checkpoint_every = 1;
+                }
                 cfg
             }
             other => panic!("not a Jacobi scenario: {other:?}"),

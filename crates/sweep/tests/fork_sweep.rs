@@ -85,6 +85,61 @@ fn forked_sweeps_match_unforked_and_standalone_at_all_worker_counts() {
     assert_ne!(fps[0], fps[2], "lossy branch must differ from clean");
 }
 
+/// Sweep3d chares are plain data and implement `Chare::fork`, so the
+/// planner now groups sweep3d fault scenarios instead of forcing them
+/// standalone. Forked fingerprints must equal both the unforked sweep
+/// and fresh standalone runs, and the snapshot must actually be taken
+/// (the world no longer declines).
+#[test]
+fn sweep3d_forks_bit_identically_to_standalone() {
+    let mut machine = MachineConfig::validation(2, 2);
+    machine.faults = FaultPlan {
+        seed: 11,
+        ..FaultPlan::none()
+    };
+    machine.ucx.reliability.enabled = true;
+    let mut grid = ScenarioGrid::new(machine);
+    grid.workloads = vec![Workload::Sweep3d {
+        global: Dims::cube(8),
+        sweeps: 2,
+        warmup: 1,
+    }];
+    grid.odfs = vec![2];
+    grid.drop_rates = vec![0.0, 0.05, 0.1];
+    grid.fault_onsets = vec![t(40)];
+    let scenarios = grid.expand();
+    assert_eq!(scenarios.len(), 3);
+
+    let mut opts = SweepOptions::new();
+    opts.fork = false;
+    let reference = run_sweep(&scenarios, &opts).expect("no I/O configured");
+    assert_eq!(reference.fork.snapshots_taken, 0);
+
+    opts.fork = true;
+    for workers in [1, 2] {
+        opts.workers = workers;
+        let forked = run_sweep(&scenarios, &opts).expect("no I/O configured");
+        assert_eq!(
+            forked.fingerprints(),
+            reference.fingerprints(),
+            "sweep3d fork path must be bit-invisible at {workers} workers"
+        );
+        assert_eq!(forked.fork.groups, 1);
+        assert_eq!(forked.fork.snapshots_taken, 1, "world must not decline");
+        assert_eq!(forked.fork.scenarios_forked, 2);
+        assert_eq!(forked.fork.declined, 0);
+    }
+
+    for (sc, fp) in scenarios.iter().zip(&reference.fingerprints()) {
+        assert_eq!(
+            run_standalone(sc).fingerprint(),
+            *fp,
+            "sweep record for `{}` differs from a standalone run",
+            sc.label()
+        );
+    }
+}
+
 #[test]
 fn fault_seed_axis_forks_with_retries_off() {
     let mut machine = MachineConfig::validation(2, 2);

@@ -95,6 +95,7 @@ pub struct SweepShared {
 }
 
 /// One block of the sweep.
+#[derive(Clone)]
 pub struct SweepChare {
     sh: Arc<SweepShared>,
     dims: Dims,
@@ -224,6 +225,14 @@ impl Chare for SweepChare {
             E_SWEPT => self.on_swept(ctx),
             other => panic!("unknown entry {other:?}"),
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn Chare>> {
+        // All state is plain data (buffer ids, counters, channel ends),
+        // so a clone is an exact mid-flight copy — this is what lets the
+        // sweep engine's prefix memoizer fork sweep3d worlds instead of
+        // forcing them standalone.
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -355,12 +364,15 @@ fn set_channel(m: &mut gaat_rt::Machine, id: ChareId, f: Face, end: ChannelEnd) 
     block.channels[f.index()] = Some(end);
 }
 
-/// Run to completion and collect results.
-pub fn run(sim: &mut Simulation, ids: &[ChareId], sh: &SweepShared) -> SweepResult {
-    {
-        let Simulation { sim, machine, .. } = sim;
-        machine.broadcast(sim, ids, E_START, 0);
-    }
+/// Broadcast the start entry without running (the prefix-memoization
+/// split of [`run`]: callers may pause, snapshot, and resume).
+pub fn start(sim: &mut Simulation, ids: &[ChareId]) {
+    let Simulation { sim, machine, .. } = sim;
+    machine.broadcast(sim, ids, E_START, 0);
+}
+
+/// Run a started simulation to completion and collect results.
+pub fn finish(sim: &mut Simulation, ids: &[ChareId], sh: &SweepShared) -> SweepResult {
     assert_eq!(sim.run(), RunOutcome::Drained, "sweep should quiesce");
     let mut warm = SimTime::ZERO;
     let mut done = SimTime::ZERO;
@@ -379,6 +391,12 @@ pub fn run(sim: &mut Simulation, ids: &[ChareId], sh: &SweepShared) -> SweepResu
         total: done.since(SimTime::ZERO),
         cpu_utilization: cpu,
     }
+}
+
+/// Run to completion and collect results.
+pub fn run(sim: &mut Simulation, ids: &[ChareId], sh: &SweepShared) -> SweepResult {
+    start(sim, ids);
+    finish(sim, ids, sh)
 }
 
 /// Convenience: build + run.

@@ -19,8 +19,8 @@
 //! the profile is bit-identical to the single-threaded run.
 
 use gaat::jacobi3d::{charm, CommMode, Dims, JacobiConfig};
-use gaat::rt::MachineConfig;
-use gaat::sim::{FaultPlan, SimTime, Tracer};
+use gaat::rt::{LbPolicy, MachineConfig};
+use gaat::sim::{FaultPlan, SimDuration, SimTime, StragglerWindow, Tracer};
 
 fn trace_out_path() -> Option<std::path::PathBuf> {
     let mut args = std::env::args().skip(1);
@@ -68,6 +68,16 @@ fn workers() -> usize {
         }
     }
     1
+}
+
+/// `--lb` arms the adaptive load balancer against an injected GPU
+/// straggler window and prints the closed-loop counters after the run:
+/// LB rounds planned/applied/declined, chares migrated, host-side
+/// plan/apply latency, and the hottest-link utilization before/after
+/// the last applied plan. Migration markers land on their own lane in
+/// the Chrome trace export.
+fn lb() -> bool {
+    std::env::args().skip(1).any(|a| a == "--lb")
 }
 
 /// `--collective {allreduce,alltoall}` profiles the gaat-coll proxy app
@@ -143,13 +153,18 @@ fn main() {
     let trace_out = trace_out_path();
     let drop = drop_rate();
     let workers = workers();
+    let lb = lb();
     if let Some(which) = collective() {
-        if drop.is_some() {
-            eprintln!("error: --drop is not supported with --collective");
+        if drop.is_some() || lb {
+            eprintln!("error: --drop/--lb are not supported with --collective");
             std::process::exit(2);
         }
         collective_profile(&which, workers);
         return;
+    }
+    if lb && workers > 1 {
+        eprintln!("error: the periodic balancer runs single-threaded; drop --workers");
+        std::process::exit(2);
     }
     if workers > 1 && drop.is_some() {
         eprintln!(
@@ -173,11 +188,28 @@ fn main() {
         };
         machine.ucx.reliability.enabled = true;
     }
+    if lb {
+        // Give the balancer something to fix: GPU 0 throttled 3x for the
+        // whole run. Migrations ride the checkpoint/restore path, so
+        // checkpointing and the reliable transport come on with it.
+        machine.faults.stragglers.push(StragglerWindow {
+            device: 0,
+            from: SimTime::ZERO,
+            until: SimTime::ZERO + SimDuration::from_ms(10_000),
+            slowdown: 3.0,
+        });
+        machine.ucx.reliability.enabled = true;
+        machine.lb.policy = LbPolicy::Adaptive;
+        machine.lb.period = SimDuration::from_ms(2);
+    }
     let mut cfg = JacobiConfig::new(machine, Dims::cube(768));
     cfg.comm = CommMode::HostStaging; // more engine traffic to look at
     cfg.odf = 2;
     cfg.iters = 6;
     cfg.warmup = 2;
+    if lb {
+        cfg.checkpoint_every = 1;
+    }
     let (mut sim, ids, sh) = charm::build(cfg);
     let result = charm::run(&mut sim, &ids, &sh);
     println!(
@@ -223,6 +255,26 @@ fn main() {
         ucx.retransmits, ucx.timeouts, ucx.duplicates, ucx.acks_sent, ucx.acks_received, ucx.peers_dead
     );
 
+    // Closed-loop balancer counters (the --lb profile).
+    if lb {
+        let s = sim.machine.lb_stats();
+        println!("\n== adaptive load balancer ==");
+        println!(
+            "  {} rounds: {} applied, {} declined, {} chares migrated",
+            s.rounds, s.applied, s.declined, s.migrations
+        );
+        println!(
+            "  host latency: plan {:.1} us/round, apply {:.1} us/round",
+            s.plan_host_ns as f64 / 1e3 / s.rounds.max(1) as f64,
+            s.apply_host_ns as f64 / 1e3 / s.applied.max(1) as f64,
+        );
+        println!(
+            "  hottest link around last applied plan: {:.1}% -> {:.1}% utilized",
+            100.0 * s.last_util_before,
+            100.0 * s.last_util_after
+        );
+    }
+
     // Timeline of GPU 0's engines across iterations 3-4 of the run.
     let from = result.warm_at;
     let to = from + (result.time_per_iter * 2);
@@ -245,7 +297,9 @@ fn main() {
         // links.
         let mut merged = Tracer::enabled();
         merged.extend_from(&sim.machine.tracer, 0);
-        let mut lane = sim.machine.pes.len() as u32;
+        // Lane pes.len() is the machine's LB-migration marker lane;
+        // device lanes start above it so the markers stay visible.
+        let mut lane = sim.machine.pes.len() as u32 + 1;
         for dev in &sim.machine.devices {
             merged.extend_from(&dev.tracer, lane);
             lane += 8; // engine lanes per device

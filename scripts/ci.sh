@@ -42,6 +42,18 @@ grep -q '"sanity_pin": {"ring_allreduce": true, "tree_allreduce": true, "moe": t
   || { echo "coll_speed sanity pin failed in BENCH_net_smoke.json" >&2; exit 1; }
 echo "coll smoke OK"
 
+echo "==> adaptive load balancer benchmark (smoke)"
+# Closed-loop LB against a degraded link plus a 4x GPU straggler: the
+# adaptive policy must claw back >= 20% of the static-vs-fault-free
+# makespan gap, replay bit-identically from the same seed, keep the
+# Jacobi solution checksum equal across all cells, and fingerprint
+# identically at sweep pool workers 1/2/4. Virtual-time pins — never
+# excused by throttling.
+cargo run --release -p gaat-bench --bin lb_speed -- --smoke --out /tmp/BENCH_lb_smoke.json
+grep -Eq '"sanity_pin": \{"recovery": [0-9.]+, "min_recovery": 0.2, "replay_identical": true, "solutions_identical": true, "workers_match": true, "pass": true\}' /tmp/BENCH_lb_smoke.json \
+  || { echo "lb_speed sanity pin failed in BENCH_lb_smoke.json" >&2; exit 1; }
+echo "lb smoke OK"
+
 echo "==> windowed parallel DES smoke (--workers 2)"
 # Replays the pinned goldens through the sharded windowed engine at
 # --workers 2 and 4 and requires bit-identical fingerprints against the
